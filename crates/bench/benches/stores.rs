@@ -1,0 +1,74 @@
+//! Criterion benches over the paper's four store configurations at smoke
+//! scale: simulator wall-clock throughput for loads and point reads.
+//! (Simulated-time results — the paper's actual metrics — come from the
+//! `seal-bench` figure harness; these benches track the *implementation's*
+//! speed so regressions in the reproduction itself are visible.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sealdb::{Store, StoreConfig, StoreKind};
+use workloads::{fill_random, RecordGenerator};
+
+fn gen() -> RecordGenerator {
+    RecordGenerator::new(16, 256, 7)
+}
+
+fn fresh(kind: StoreKind) -> Store {
+    StoreConfig::new(kind, 32 << 10, 512 << 20)
+        .build()
+        .expect("build store")
+}
+
+fn bench_fill_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fillrandom-4k-records");
+    group.sample_size(10);
+    for kind in StoreKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || fresh(kind),
+                |mut store| {
+                    fill_random(&mut store, &gen(), 4000, 11).expect("load");
+                    store
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get-after-load");
+    for kind in StoreKind::ALL {
+        let mut store = fresh(kind);
+        fill_random(&mut store, &gen(), 4000, 11).expect("load");
+        let g = gen();
+        group.bench_function(kind.name(), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % 4000;
+                store.get(&g.key(i)).expect("get")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan-100-after-load");
+    for kind in StoreKind::ALL {
+        let mut store = fresh(kind);
+        fill_random(&mut store, &gen(), 4000, 11).expect("load");
+        let g = gen();
+        group.bench_function(kind.name(), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % 3900;
+                store.scan(&g.key(i), 100).expect("scan")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill_random, bench_get, bench_scan);
+criterion_main!(benches);

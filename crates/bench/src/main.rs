@@ -1,0 +1,127 @@
+//! `seal-bench` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! seal-bench <experiment> [options]
+//!
+//! experiments:
+//!   fig02 fig03 table2 fig08 ... fig14 ablation hasmr | all
+//!
+//! options:
+//!   --sstable-kb N   SSTable size in KiB        (default 256; paper 4096)
+//!   --load-mb N      payload to load in MiB     (default 256; paper 102400)
+//!   --value N        value size in bytes        (default 1024; paper 4096)
+//!   --read-ops N     point/seq read operations  (default 20000)
+//!   --ycsb-ops N     YCSB operations/workload   (default 10000)
+//!   --seed N         determinism seed
+//!   --out DIR        CSV output directory       (default results/)
+//!   --tiny           CI-speed smoke scale
+//! ```
+
+use bench::experiments::{self, Report};
+use bench::BenchScale;
+use std::io::Write as _;
+
+fn parse_args() -> (Vec<String>, BenchScale, String) {
+    let mut scale = BenchScale::default();
+    let mut out_dir = "results".to_string();
+    let mut experiments = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |i: &mut usize, args: &[String]| -> u64 {
+        *i += 1;
+        args.get(*i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("missing/invalid numeric value for {}", args[*i - 1]);
+                std::process::exit(2);
+            })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sstable-kb" => scale.sstable = need(&mut i, &args) << 10,
+            "--load-mb" => scale.load_bytes = need(&mut i, &args) << 20,
+            "--value" => scale.value_size = need(&mut i, &args) as usize,
+            "--read-ops" => scale.read_ops = need(&mut i, &args),
+            "--ycsb-ops" => scale.ycsb_ops = need(&mut i, &args),
+            "--seed" => scale.seed = need(&mut i, &args),
+            "--tiny" => scale = BenchScale::tiny(),
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or(out_dir);
+            }
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (experiments, scale, out_dir)
+}
+
+fn run_one(name: &str, scale: &BenchScale) -> Option<Report> {
+    let started = std::time::Instant::now();
+    let report = match name {
+        "fig02" => experiments::fig02(scale),
+        "fig03" => experiments::fig03(scale),
+        "table2" => experiments::table2(scale),
+        "fig08" => experiments::fig08(scale),
+        "fig09" => experiments::fig09(scale),
+        "fig10" => experiments::fig10(scale),
+        "fig11" => experiments::fig11(scale),
+        "fig12" => experiments::fig12(scale),
+        "fig13" => experiments::fig13(scale),
+        "fig14" => experiments::fig14(scale),
+        "ablation" => experiments::ablation(scale),
+        "hasmr" => experiments::hasmr(scale),
+        _ => {
+            eprintln!("unknown experiment: {name}");
+            return None;
+        }
+    };
+    match report {
+        Ok(r) => {
+            println!("{}", r.render());
+            println!("  [wall-clock {:.1} s]\n", started.elapsed().as_secs_f64());
+            Some(r)
+        }
+        Err(e) => {
+            eprintln!("experiment {name} failed: {e}");
+            None
+        }
+    }
+}
+
+const ALL: [&str; 12] = [
+    "fig02", "fig03", "table2", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "ablation", "hasmr",
+];
+
+fn main() {
+    let (mut wanted, scale, out_dir) = parse_args();
+    if wanted.is_empty() {
+        eprintln!("usage: seal-bench <fig02|fig03|table2|fig08..fig14|all> [options]");
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "scale: sstable {} KiB, band {} KiB, value {} B, load {} MiB ({} records), capacity {} MiB, linear factor {:.4}\n",
+        scale.sstable >> 10,
+        scale.band_size() >> 10,
+        scale.value_size,
+        scale.load_bytes >> 20,
+        scale.load_records(),
+        scale.disk_capacity() >> 20,
+        scale.linear_factor(),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    for name in &wanted {
+        if let Some(report) = run_one(name, &scale) {
+            for csv in &report.csvs {
+                let path = format!("{out_dir}/{}", csv.name);
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(csv.content.as_bytes()).expect("write csv");
+                println!("  wrote {path}");
+            }
+        }
+    }
+}

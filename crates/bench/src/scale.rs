@@ -1,0 +1,127 @@
+//! Benchmark scale: one knob family mapping the paper's full-size
+//! experiments onto tractable simulated runs with every ratio intact.
+//!
+//! Paper configuration: 16 B keys, 4 KB values, 4 MB SSTables, 40 MB
+//! bands, 100 GB loads on a 1 TB drive. Default bench scale: 1/16 linear
+//! (256 KiB SSTables, 2.5 MiB bands) with 256 MiB loads — large enough
+//! to populate four levels and drive hundreds of compactions.
+
+use workloads::RecordGenerator;
+
+/// Scaling parameters shared by every experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchScale {
+    /// SSTable size (paper: 4 MiB).
+    pub sstable: u64,
+    /// Key size in bytes (paper: 16).
+    pub key_size: usize,
+    /// Value size in bytes (paper: 4096).
+    pub value_size: usize,
+    /// Total payload to load (paper: 100 GB).
+    pub load_bytes: u64,
+    /// Point-read operations per read phase (paper: 100 K).
+    pub read_ops: u64,
+    /// YCSB operations per workload (paper: 100 K).
+    pub ycsb_ops: u64,
+    /// Disk capacity as a multiple of `load_bytes` (paper: 10×).
+    pub capacity_ratio: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        BenchScale {
+            sstable: 1 << 20,
+            key_size: 16,
+            value_size: 4096,
+            load_bytes: 512 << 20,
+            read_ops: 20_000,
+            ycsb_ops: 10_000,
+            capacity_ratio: 10,
+            seed: 0x5EA1DB,
+        }
+    }
+}
+
+impl BenchScale {
+    /// A fast scale for smoke tests and CI.
+    pub fn tiny() -> Self {
+        BenchScale {
+            sstable: 64 << 10,
+            value_size: 256,
+            load_bytes: 8 << 20,
+            read_ops: 1000,
+            ycsb_ops: 500,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's full-size parameters (hours of simulation; provided
+    /// for completeness).
+    pub fn paper() -> Self {
+        BenchScale {
+            sstable: 4 << 20,
+            key_size: 16,
+            value_size: 4096,
+            load_bytes: 100 << 30,
+            read_ops: 100_000,
+            ycsb_ops: 100_000,
+            capacity_ratio: 10,
+            seed: 0x5EA1DB,
+        }
+    }
+
+    /// Record generator for this scale.
+    pub fn generator(&self) -> RecordGenerator {
+        RecordGenerator::new(self.key_size, self.value_size, self.seed ^ 0x5EED)
+    }
+
+    /// Number of records amounting to `load_bytes`.
+    pub fn load_records(&self) -> u64 {
+        self.load_bytes / (self.key_size + self.value_size) as u64
+    }
+
+    /// Disk capacity in bytes.
+    pub fn disk_capacity(&self) -> u64 {
+        self.load_bytes * self.capacity_ratio
+    }
+
+    /// Band size at the paper's default ratio (10 × SSTable).
+    pub fn band_size(&self) -> u64 {
+        self.sstable * 10
+    }
+
+    /// Linear scale factor relative to the paper (1.0 = full size).
+    pub fn linear_factor(&self) -> f64 {
+        self.sstable as f64 / (4 << 20) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratios_match_paper() {
+        let s = BenchScale::default();
+        assert_eq!(s.band_size() / s.sstable, 10);
+        assert_eq!(s.disk_capacity() / s.load_bytes, 10);
+        assert_eq!(s.linear_factor(), 1.0 / 4.0);
+    }
+
+    #[test]
+    fn paper_scale_is_full_size() {
+        let p = BenchScale::paper();
+        assert_eq!(p.linear_factor(), 1.0);
+        assert_eq!(p.load_records(), (100u64 << 30) / 4112);
+    }
+
+    #[test]
+    fn record_math() {
+        let s = BenchScale::tiny();
+        let g = s.generator();
+        assert_eq!(g.record_size(), 16 + 256);
+        assert_eq!(s.load_records(), (8 << 20) / 272);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared store context: the file store plus the block and table caches,
+//! behind one lock so table iterators (which outlive any single engine
+//! call) can fetch blocks on demand while the engine keeps ownership
+//! simple.
+//!
+//! Locking discipline: nothing holds the context guard across a call that
+//! re-enters the context — every helper locks, performs one disk/cache
+//! operation, and releases.
+
+use crate::cache::LruCache;
+use crate::error::Result;
+use crate::filestore::FileStore;
+use crate::sstable::block::Block;
+use crate::sstable::table::Table;
+use crate::types::FileId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Key of a cached block: (file id, block offset within the file).
+pub type BlockCacheKey = (FileId, u64);
+
+/// The mutable store state shared between the engine and its iterators.
+pub struct StoreCtx {
+    /// File-id indirection over the simulated disk.
+    pub fs: FileStore,
+    /// Data-block cache (LevelDB's `block_cache`).
+    pub block_cache: LruCache<BlockCacheKey, Block>,
+    /// Open-table cache (LevelDB's `TableCache`), charged per entry.
+    pub table_cache: LruCache<FileId, Table>,
+}
+
+/// Shared handle to the store context.
+pub type SharedCtx = Arc<Mutex<StoreCtx>>;
+
+/// Creates a shared context with the given cache budgets.
+pub fn new_ctx(fs: FileStore, block_cache_bytes: u64, table_cache_entries: u64) -> SharedCtx {
+    Arc::new(Mutex::new(StoreCtx {
+        fs,
+        block_cache: LruCache::new(block_cache_bytes),
+        table_cache: LruCache::new(table_cache_entries),
+    }))
+}
+
+/// Fetches an open table reader through the table cache, opening (and
+/// charging `Meta` reads for footer/index/filter) on a miss.
+pub fn get_table(ctx: &SharedCtx, id: FileId, size: u64) -> Result<Arc<Table>> {
+    if let Some(t) = ctx.lock().table_cache.get(&id) {
+        return Ok(t);
+    }
+    let table = Arc::new(Table::open(ctx, id, size)?);
+    ctx.lock().table_cache.insert(id, Arc::clone(&table), 1);
+    Ok(table)
+}
+
+/// Evicts a deleted file from the caches. Stale block-cache entries for
+/// the file simply age out (file ids are never reused), but the table
+/// reader is dropped eagerly.
+pub fn evict_file(ctx: &SharedCtx, id: FileId) {
+    ctx.lock().table_cache.remove(&id);
+}

@@ -1,0 +1,224 @@
+//! Write batches: the unit of WAL logging and memtable application, using
+//! LevelDB's wire format — `sequence(8) | count(4) | records`, where each
+//! record is `type(1) | key | [value]` with length-prefixed slices.
+
+use crate::error::{corruption, Result};
+use crate::types::{SequenceNumber, ValueType};
+use crate::util::coding::{
+    decode_fixed32, decode_fixed64, get_length_prefixed, put_length_prefixed,
+};
+
+const HEADER: usize = 12;
+
+/// A batch of writes applied atomically.
+#[derive(Clone, Debug)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+    payload: u64,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch {
+            rep: vec![0; HEADER],
+            payload: 0,
+        }
+    }
+
+    /// Adds a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.set_count(self.count() + 1);
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, value);
+        self.payload += (key.len() + value.len()) as u64;
+    }
+
+    /// Adds a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.set_count(self.count() + 1);
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed(&mut self.rep, key);
+        self.payload += key.len() as u64;
+    }
+
+    /// Number of operations in the batch.
+    pub fn count(&self) -> u32 {
+        decode_fixed32(&self.rep[8..12])
+    }
+
+    fn set_count(&mut self, n: u32) {
+        self.rep[8..12].copy_from_slice(&n.to_le_bytes());
+    }
+
+    /// Base sequence number of the batch.
+    pub fn sequence(&self) -> SequenceNumber {
+        decode_fixed64(&self.rep[..8])
+    }
+
+    /// Stamps the base sequence number.
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[..8].copy_from_slice(&seq.to_le_bytes());
+    }
+
+    /// User payload bytes (key + value sizes) — the paper's `WA`
+    /// denominator.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload
+    }
+
+    /// Wire representation (for the WAL).
+    pub fn rep(&self) -> &[u8] {
+        &self.rep
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Parses a wire representation (WAL recovery).
+    pub fn decode(rep: &[u8]) -> Result<WriteBatch> {
+        if rep.len() < HEADER {
+            return corruption("write batch shorter than header");
+        }
+        let batch = WriteBatch {
+            rep: rep.to_vec(),
+            payload: 0,
+        };
+        // Validate the records and recompute the payload.
+        let mut payload = 0u64;
+        let mut n = 0u32;
+        let mut src = &batch.rep[HEADER..];
+        while !src.is_empty() {
+            let ty = ValueType::from_u8(src[0])
+                .ok_or_else(|| crate::error::Error::Corruption("bad batch record type".into()))?;
+            src = &src[1..];
+            let Some((key, used)) = get_length_prefixed(src) else {
+                return corruption("truncated batch key");
+            };
+            payload += key.len() as u64;
+            src = &src[used..];
+            if ty == ValueType::Value {
+                let Some((value, used)) = get_length_prefixed(src) else {
+                    return corruption("truncated batch value");
+                };
+                payload += value.len() as u64;
+                src = &src[used..];
+            }
+            n += 1;
+        }
+        if n != batch.count() {
+            return corruption("batch count mismatch");
+        }
+        Ok(WriteBatch {
+            rep: batch.rep,
+            payload,
+        })
+    }
+
+    /// Iterates over `(sequence, type, key, value)`; deletions carry an
+    /// empty value.
+    pub fn iter(&self) -> BatchIter<'_> {
+        BatchIter {
+            src: &self.rep[HEADER..],
+            seq: self.sequence(),
+        }
+    }
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over batch records.
+pub struct BatchIter<'a> {
+    src: &'a [u8],
+    seq: SequenceNumber,
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = (SequenceNumber, ValueType, &'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.src.is_empty() {
+            return None;
+        }
+        let ty = ValueType::from_u8(self.src[0])?;
+        self.src = &self.src[1..];
+        let (key, used) = get_length_prefixed(self.src)?;
+        self.src = &self.src[used..];
+        let value: &[u8] = if ty == ValueType::Value {
+            let (v, used) = get_length_prefixed(self.src)?;
+            self.src = &self.src[used..];
+            v
+        } else {
+            &[]
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        Some((seq, ty, key, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate() {
+        let mut b = WriteBatch::new();
+        b.put(b"k1", b"v1");
+        b.delete(b"k2");
+        b.put(b"k3", b"v3");
+        b.set_sequence(100);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.payload_bytes(), 2 + 2 + 2 + 2 + 2);
+        let items: Vec<_> = b.iter().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], (100, ValueType::Value, &b"k1"[..], &b"v1"[..]));
+        assert_eq!(items[1], (101, ValueType::Deletion, &b"k2"[..], &b""[..]));
+        assert_eq!(items[2], (102, ValueType::Value, &b"k3"[..], &b"v3"[..]));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"alpha", b"1");
+        b.delete(b"beta");
+        b.set_sequence(7);
+        let d = WriteBatch::decode(b.rep()).unwrap();
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sequence(), 7);
+        assert_eq!(d.payload_bytes(), b.payload_bytes());
+        let x: Vec<_> = b.iter().collect();
+        let y: Vec<_> = d.iter().collect();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WriteBatch::decode(&[]).is_err());
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        let mut rep = b.rep().to_vec();
+        rep.truncate(rep.len() - 1);
+        assert!(WriteBatch::decode(&rep).is_err());
+        // Wrong count.
+        let mut rep = b.rep().to_vec();
+        rep[8] = 9;
+        assert!(WriteBatch::decode(&rep).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        let d = WriteBatch::decode(b.rep()).unwrap();
+        assert!(d.is_empty());
+    }
+}

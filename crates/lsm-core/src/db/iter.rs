@@ -1,0 +1,172 @@
+//! Level-concatenating and user-facing database iterators.
+
+use crate::context::{get_table, SharedCtx};
+use crate::error::Error;
+use crate::iterator::{InternalIterator, MergingIterator};
+use crate::sstable::TableIterator;
+use crate::types::{internal_compare, lookup_key, parse_trailer, user_key, SequenceNumber, ValueType};
+use crate::version::FileMetaHandle;
+use smr_sim::IoKind;
+use std::cmp::Ordering;
+
+/// Iterates a sorted, disjoint level by opening one table at a time —
+/// LevelDB's "concatenating" iterator. Keeps merging fan-in at one child
+/// per level regardless of file counts.
+pub struct LevelIterator {
+    ctx: SharedCtx,
+    files: Vec<FileMetaHandle>,
+    kind: IoKind,
+    idx: usize,
+    cur: Option<TableIterator>,
+    error: Option<Error>,
+}
+
+impl LevelIterator {
+    /// Creates an iterator over `files` (sorted by key, non-overlapping).
+    pub fn new(ctx: SharedCtx, files: Vec<FileMetaHandle>, kind: IoKind) -> Self {
+        LevelIterator {
+            ctx,
+            files,
+            kind,
+            idx: 0,
+            cur: None,
+            error: None,
+        }
+    }
+
+    fn open_current(&mut self) {
+        self.cur = None;
+        let Some(f) = self.files.get(self.idx) else {
+            return;
+        };
+        match get_table(&self.ctx, f.id, f.size) {
+            Ok(table) => self.cur = Some(table.iter(self.ctx.clone(), self.kind)),
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn skip_exhausted(&mut self) {
+        while self.cur.as_ref().is_some_and(|c| !c.valid()) {
+            self.idx += 1;
+            if self.idx >= self.files.len() {
+                self.cur = None;
+                return;
+            }
+            self.open_current();
+            if let Some(c) = self.cur.as_mut() {
+                c.seek_to_first();
+            }
+        }
+    }
+
+    /// First error encountered, if any.
+    pub fn take_error(&mut self) -> Option<Error> {
+        self.error.take()
+    }
+}
+
+impl InternalIterator for LevelIterator {
+    fn valid(&self) -> bool {
+        self.cur.as_ref().is_some_and(|c| c.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.idx = 0;
+        self.open_current();
+        if let Some(c) = self.cur.as_mut() {
+            c.seek_to_first();
+        }
+        self.skip_exhausted();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.idx = self
+            .files
+            .partition_point(|f| internal_compare(&f.largest, target) == Ordering::Less);
+        self.open_current();
+        if let Some(c) = self.cur.as_mut() {
+            c.seek(target);
+        }
+        self.skip_exhausted();
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        if let Some(c) = self.cur.as_mut() {
+            c.next();
+        }
+        self.skip_exhausted();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.cur.as_ref().expect("valid iterator").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.cur.as_ref().expect("valid iterator").value()
+    }
+}
+
+/// The user-facing iterator: merges all sources and resolves versions —
+/// newest visible entry per user key, tombstones hide older values.
+pub struct DbIterator<'a> {
+    inner: MergingIterator<'a>,
+    snapshot: SequenceNumber,
+}
+
+impl<'a> DbIterator<'a> {
+    /// Wraps a merging iterator at the given snapshot.
+    pub fn new(inner: MergingIterator<'a>, snapshot: SequenceNumber) -> Self {
+        DbIterator { inner, snapshot }
+    }
+
+    /// Positions before the first user key >= `ukey`.
+    pub fn seek(&mut self, ukey: &[u8]) {
+        self.inner.seek(&lookup_key(ukey, self.snapshot));
+    }
+
+    /// Positions at the start of the database.
+    pub fn seek_to_first(&mut self) {
+        self.inner.seek_to_first();
+    }
+
+    /// Produces the next visible (user key, value) pair, or `None` at the
+    /// end.
+    pub fn next_entry(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        while self.inner.valid() {
+            let (seq, ty) = parse_trailer(self.inner.key());
+            if seq > self.snapshot {
+                self.inner.next();
+                continue;
+            }
+            let ukey = user_key(self.inner.key()).to_vec();
+            let emit = match ty {
+                ValueType::Value => Some((ukey.clone(), self.inner.value().to_vec())),
+                ValueType::Deletion => None,
+            };
+            // Skip every older version of this user key.
+            loop {
+                self.inner.next();
+                if !self.inner.valid() || user_key(self.inner.key()) != ukey.as_slice() {
+                    break;
+                }
+            }
+            if emit.is_some() {
+                return emit;
+            }
+        }
+        None
+    }
+
+    /// Collects up to `limit` entries from the current position.
+    pub fn collect(&mut self, limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        while out.len() < limit {
+            match self.next_entry() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+}

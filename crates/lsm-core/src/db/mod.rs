@@ -1,0 +1,1032 @@
+//! The database core: LevelDB's write path (WAL → memtable → L0 flush),
+//! read path (memtable → L0 → sorted levels), and synchronous leveled
+//! compaction. Placement is delegated to a [`PlacementPolicy`], which is
+//! where the SEALDB crate plugs in sets and dynamic bands.
+//!
+//! Compactions run synchronously on the caller thread: LevelDB serialises
+//! them on a single background thread anyway, and inline execution makes
+//! the simulated-latency attribution of the paper's Fig. 10 exact.
+
+pub mod batch;
+pub mod iter;
+pub mod options;
+
+use crate::context::{evict_file, get_table, new_ctx, SharedCtx};
+use crate::error::Result;
+use crate::filestore::FileStore;
+use crate::iterator::{InternalIterator, MergingIterator};
+use crate::memtable::MemTable;
+use crate::policy::PlacementPolicy;
+use crate::sstable::TableBuilder;
+use crate::types::{
+    lookup_key, parse_trailer, user_key, FileId, SequenceNumber, ValueType, MAX_SEQUENCE,
+};
+use crate::version::{
+    Compaction, FileMetaData, FileMetaHandle, VersionEdit, VersionSet, FSMETA_LOG_ID,
+    MANIFEST_LOG_ID,
+};
+use crate::wal::{LogReader, LogWriter};
+use batch::WriteBatch;
+use iter::{DbIterator, LevelIterator};
+use options::Options;
+use smr_sim::{Disk, IoKind};
+
+/// Details of one executed compaction (drives the paper's Fig. 10).
+#[derive(Clone, Debug)]
+pub struct CompactionRecord {
+    /// 1-based compaction sequence number.
+    pub id: u64,
+    /// Input level (outputs land in `level + 1`).
+    pub level: usize,
+    /// Number of input SSTables (victims + overlapped set).
+    pub input_files: usize,
+    /// Total input bytes.
+    pub input_bytes: u64,
+    /// Number of output SSTables.
+    pub output_files: usize,
+    /// Total output bytes (the paper's "compaction data size").
+    pub output_bytes: u64,
+    /// Simulated clock when the compaction started.
+    pub start_ns: u64,
+    /// Simulated latency of the compaction.
+    pub duration_ns: u64,
+    /// Distinct fixed bands the outputs touched (1 per extent elsewhere).
+    pub output_bands: u64,
+    /// Whether this was a trivial move (no data rewritten).
+    pub trivial_move: bool,
+}
+
+/// A pinned read point; obtain via [`DbCore::snapshot`] and return via
+/// [`DbCore::release_snapshot`].
+#[derive(Debug)]
+pub struct Snapshot {
+    seq: SequenceNumber,
+}
+
+impl Snapshot {
+    /// The pinned sequence number.
+    pub fn sequence(&self) -> SequenceNumber {
+        self.seq
+    }
+}
+
+/// The LSM-tree database.
+pub struct DbCore {
+    opts: Options,
+    ctx: SharedCtx,
+    mem: MemTable,
+    versions: VersionSet,
+    wal: Option<LogWriter>,
+    wal_id: FileId,
+    policy: Box<dyn PlacementPolicy>,
+    compactions: Vec<CompactionRecord>,
+    flush_count: u64,
+    /// Sequence numbers pinned by live snapshots.
+    snapshots: Vec<SequenceNumber>,
+}
+
+impl DbCore {
+    /// Opens a fresh database on `disk` with the given placement policy.
+    pub fn open(disk: Disk, opts: Options, policy: Box<dyn PlacementPolicy>) -> Result<DbCore> {
+        opts.validate().map_err(crate::error::Error::InvalidArgument)?;
+        let fs = FileStore::new(disk, opts.log_zone_bytes);
+        let ctx = new_ctx(fs, opts.block_cache_bytes, opts.table_cache_entries);
+        let mut versions = VersionSet::new(opts.level_params());
+        let mem = MemTable::new(opts.seed);
+        let (wal, wal_id) = {
+            let mut guard = ctx.lock();
+            versions.create(&mut guard.fs)?;
+            if opts.wal_enabled {
+                let id = versions.new_file_id();
+                guard.fs.create_log(id)?;
+                versions.set_log_number(id);
+                // Persist the counters so a crash before the first flush
+                // still recovers a consistent next-file id.
+                versions.log_and_apply(&mut guard.fs, VersionEdit::default())?;
+                (Some(LogWriter::new()), id)
+            } else {
+                (None, 0)
+            }
+        };
+        Ok(DbCore {
+            opts,
+            ctx,
+            mem,
+            versions,
+            wal,
+            wal_id,
+            policy,
+            compactions: Vec::new(),
+            flush_count: 0,
+            snapshots: Vec::new(),
+        })
+    }
+
+    /// Re-opens the database from its on-disk state: rebuilds the version
+    /// set from the manifest and replays outstanding WAL records into a
+    /// fresh memtable (crash-recovery path).
+    pub fn reopen(self) -> Result<DbCore> {
+        let DbCore {
+            opts, ctx, policy, ..
+        } = self;
+        let mut versions = VersionSet::new(opts.level_params());
+        let mut mem = MemTable::new(opts.seed ^ 0xC0FFEE);
+        let mut max_seq = 0u64;
+        {
+            let mut guard = ctx.lock();
+            versions.recover(&mut guard.fs)?;
+            let replay_from = versions.log_number();
+            for log_id in guard.fs.log_ids() {
+                if log_id == MANIFEST_LOG_ID || log_id == FSMETA_LOG_ID || log_id < replay_from {
+                    continue;
+                }
+                let data = guard.fs.log_read_all(log_id, IoKind::Meta)?;
+                let mut reader = LogReader::new(&data);
+                while let Some(rec) = reader.next_record() {
+                    let Ok(rec) = rec else { break };
+                    let batch = WriteBatch::decode(&rec)?;
+                    for (seq, ty, key, value) in batch.iter() {
+                        mem.add(seq, ty, key, value);
+                        max_seq = max_seq.max(seq);
+                    }
+                }
+            }
+        }
+        if max_seq > versions.last_sequence() {
+            versions.set_last_sequence(max_seq);
+        }
+        // Start a fresh WAL for new writes (replayed logs stay until the
+        // recovered memtable flushes).
+        let (wal, wal_id) = if opts.wal_enabled {
+            let mut guard = ctx.lock();
+            let mut id = versions.new_file_id();
+            while guard.fs.has_log(id) {
+                id = versions.new_file_id();
+            }
+            guard.fs.create_log(id)?;
+            versions.log_and_apply(&mut guard.fs, VersionEdit::default())?;
+            (Some(LogWriter::new()), id)
+        } else {
+            (None, 0)
+        };
+        Ok(DbCore {
+            opts,
+            ctx,
+            mem,
+            versions,
+            wal,
+            wal_id,
+            policy,
+            compactions: Vec::new(),
+            flush_count: 0,
+            snapshots: Vec::new(),
+        })
+    }
+
+    /// The shared store context (disk stats, traces, caches).
+    pub fn ctx(&self) -> &SharedCtx {
+        &self.ctx
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Runs the placement policy's garbage collector (fragment
+    /// coalescing for set-based policies; a no-op report otherwise).
+    pub fn collect_garbage(
+        &mut self,
+        cfg: &crate::policy::GcConfig,
+    ) -> Result<crate::policy::GcReport> {
+        let mut guard = self.ctx.lock();
+        // GC relocations change file extents but not file ids, so the
+        // table cache stays valid; the block cache keys include offsets
+        // within the file, which are also unchanged.
+        self.policy.collect_garbage(&mut guard.fs, cfg)
+    }
+
+    /// Executed compactions, in order.
+    pub fn compaction_log(&self) -> &[CompactionRecord] {
+        &self.compactions
+    }
+
+    /// Number of memtable flushes performed.
+    pub fn flush_count(&self) -> u64 {
+        self.flush_count
+    }
+
+    /// The current version (file layout snapshot).
+    pub fn current_version(&self) -> std::sync::Arc<crate::version::Version> {
+        self.versions.current()
+    }
+
+    /// Last sequence number issued.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.versions.last_sequence()
+    }
+
+    /// Simulated clock of the underlying disk, ns.
+    pub fn clock_ns(&self) -> u64 {
+        self.ctx.lock().fs.disk().clock_ns()
+    }
+
+    /// Per-level (file count, bytes) summary plus the memtable size —
+    /// LevelDB's `leveldb.stats` property in structured form.
+    pub fn level_summary(&self) -> (Vec<(usize, u64)>, usize) {
+        let v = self.versions.current();
+        let levels = (0..v.num_levels())
+            .map(|l| (v.level_file_count(l), v.level_bytes(l)))
+            .collect();
+        (levels, self.mem.approximate_memory_usage())
+    }
+
+    // ----- write path -----
+
+    /// Inserts a key/value pair.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.put(key, value);
+        self.write(b)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key);
+        self.write(b)
+    }
+
+    /// Applies a batch atomically: WAL first, then the memtable; flush and
+    /// compactions run inline when thresholds trip.
+    pub fn write(&mut self, mut batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let seq = self.versions.last_sequence() + 1;
+        batch.set_sequence(seq);
+        if self.wal.is_some() {
+            let wal = self.wal.as_mut().expect("wal enabled");
+            wal.add_record(batch.rep());
+            // The OS page cache absorbs small appends; bytes reach the
+            // disk in `wal_buffer_bytes` chunks (sync=false semantics).
+            if wal.pending_len() >= self.opts.wal_buffer_bytes.max(1) {
+                let bytes = wal.take();
+                let mut guard = self.ctx.lock();
+                guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
+            }
+        }
+        for (s, ty, key, value) in batch.iter() {
+            self.mem.add(s, ty, key, value);
+        }
+        self.versions
+            .set_last_sequence(seq + u64::from(batch.count()) - 1);
+        self.ctx.lock().fs.disk_mut().stats_mut().user_payload += batch.payload_bytes();
+        self.maybe_flush_and_compact()
+    }
+
+    /// Forces the memtable to flush and compactions to quiesce (used at
+    /// the end of load phases).
+    pub fn flush(&mut self) -> Result<()> {
+        self.flush_memtable()?;
+        self.compact_until_quiescent()
+    }
+
+    fn maybe_flush_and_compact(&mut self) -> Result<()> {
+        if self.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
+            self.flush_memtable()?;
+            self.compact_until_quiescent()?;
+        }
+        Ok(())
+    }
+
+    fn flush_memtable(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let file_id = self.versions.new_file_id();
+        let mut builder = TableBuilder::new(self.opts.table_options());
+        {
+            let mut it = self.mem.iter();
+            it.seek_to_first();
+            while it.valid() {
+                builder.add(it.key(), it.value());
+                it.next();
+            }
+        }
+        let smallest = builder.first_key().expect("non-empty memtable").to_vec();
+        let largest = builder.last_key().to_vec();
+        let data = builder.finish();
+        let size = data.len() as u64;
+        let set_id = {
+            let mut guard = self.ctx.lock();
+            guard.fs.disk_mut().set_trace_tag(0);
+            self.policy.place_flush(&mut guard.fs, file_id, &data)?
+        };
+        let mut edit = VersionEdit::default();
+        edit.add_file(
+            0,
+            FileMetaData {
+                id: file_id,
+                size,
+                smallest,
+                largest,
+                set_id,
+            },
+        );
+        // Rotate the WAL: records up to here are now durable in the table.
+        let new_wal = if self.wal.is_some() {
+            let id = self.versions.new_file_id();
+            self.versions.set_log_number(id);
+            Some(id)
+        } else {
+            None
+        };
+        {
+            let mut guard = self.ctx.lock();
+            self.versions.log_and_apply(&mut guard.fs, edit)?;
+            if let Some(id) = new_wal {
+                guard.fs.delete_log(self.wal_id)?;
+                guard.fs.create_log(id)?;
+                self.wal_id = id;
+                self.wal = Some(LogWriter::new());
+            }
+            self.versions
+                .maybe_compact_manifest(&mut guard.fs, self.opts.manifest_rewrite_bytes)?;
+        }
+        self.flush_count += 1;
+        self.mem = MemTable::new(self.opts.seed.wrapping_add(self.flush_count));
+        Ok(())
+    }
+
+    fn compact_until_quiescent(&mut self) -> Result<()> {
+        loop {
+            let compaction = {
+                let policy = &self.policy;
+                let prio = |overlapped: &[FileMetaHandle]| -> u64 {
+                    let ids: Vec<FileId> = overlapped.iter().map(|f| f.id).collect();
+                    policy.victim_priority(&ids)
+                };
+                self.versions.pick_compaction(Some(&prio))
+            };
+            match compaction {
+                Some(c) => self.do_compaction(c)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Manually compacts every file overlapping `[begin, end]` (user
+    /// keys) down the tree, level by level — LevelDB's `CompactRange`.
+    /// Afterwards the range's data sits in the deepest populated level.
+    pub fn compact_range(&mut self, begin: &[u8], end: &[u8]) -> Result<()> {
+        self.flush_memtable()?;
+        for level in 0..self.opts.num_levels - 1 {
+            loop {
+                let version = self.versions.current();
+                let inputs0 = version.overlapping_files(level, begin, end);
+                if inputs0.is_empty() {
+                    break;
+                }
+                let (lo, hi) = {
+                    let mut lo = user_key(&inputs0[0].smallest).to_vec();
+                    let mut hi = user_key(&inputs0[0].largest).to_vec();
+                    for f in &inputs0[1..] {
+                        if user_key(&f.smallest) < lo.as_slice() {
+                            lo = user_key(&f.smallest).to_vec();
+                        }
+                        if user_key(&f.largest) > hi.as_slice() {
+                            hi = user_key(&f.largest).to_vec();
+                        }
+                    }
+                    (lo, hi)
+                };
+                let inputs1 = if level + 1 < self.opts.num_levels {
+                    version.overlapping_files(level + 1, &lo, &hi)
+                } else {
+                    Vec::new()
+                };
+                let grandparents = if level + 2 < self.opts.num_levels {
+                    version.overlapping_files(level + 2, &lo, &hi)
+                } else {
+                    Vec::new()
+                };
+                let c = Compaction {
+                    level,
+                    inputs: [inputs0, inputs1],
+                    grandparents,
+                };
+                self.do_compaction(c)?;
+                break;
+            }
+        }
+        self.compact_until_quiescent()
+    }
+
+    /// Whether a compaction can move its single input file down a level
+    /// without rewriting (LevelDB's trivial move).
+    fn is_trivial_move(&self, c: &Compaction) -> bool {
+        c.inputs[0].len() == 1
+            && c.inputs[1].is_empty()
+            && c.grandparents.iter().map(|f| f.size).sum::<u64>()
+                <= self.opts.max_grandparent_overlap_bytes
+    }
+
+    fn do_compaction(&mut self, c: Compaction) -> Result<()> {
+        let cid = self.compactions.len() as u64 + 1;
+        let start_ns = self.clock_ns();
+        if self.is_trivial_move(&c) {
+            let f = &c.inputs[0][0];
+            let mut edit = VersionEdit::default();
+            edit.delete_file(c.level, f.id);
+            edit.add_file(c.level + 1, (**f).clone());
+            edit.compact_pointers.push((c.level, f.largest.clone()));
+            let mut guard = self.ctx.lock();
+            self.versions.log_and_apply(&mut guard.fs, edit)?;
+            drop(guard);
+            self.compactions.push(CompactionRecord {
+                id: cid,
+                level: c.level,
+                input_files: 1,
+                input_bytes: f.size,
+                output_files: 1,
+                output_bytes: 0,
+                start_ns,
+                duration_ns: 0,
+                output_bands: 0,
+                trivial_move: true,
+            });
+            return Ok(());
+        }
+
+        self.ctx.lock().fs.disk_mut().set_trace_tag(cid);
+        // Read inputs the way LevelDB does: a merging iterator pulling
+        // blocks on demand. Level-0 victims overlap, so each is its own
+        // concurrent stream; sorted-level inputs are disjoint and stream
+        // file after file in key order — which for set-placed files is
+        // also disk order, the paper's "large sequential read". The
+        // number of concurrent streams versus the drive's read-ahead
+        // segments is what separates the three systems' compaction
+        // efficiency.
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        let mut input_bytes = 0u64;
+        if c.level == 0 {
+            for f in &c.inputs[0] {
+                input_bytes += f.size;
+                let table = get_table(&self.ctx, f.id, f.size)?;
+                children.push(Box::new(table.iter(self.ctx.clone(), IoKind::CompactionRead)));
+            }
+        } else if !c.inputs[0].is_empty() {
+            input_bytes += c.inputs[0].iter().map(|f| f.size).sum::<u64>();
+            children.push(Box::new(LevelIterator::new(
+                self.ctx.clone(),
+                c.inputs[0].clone(),
+                IoKind::CompactionRead,
+            )));
+        }
+        if !c.inputs[1].is_empty() {
+            input_bytes += c.inputs[1].iter().map(|f| f.size).sum::<u64>();
+            children.push(Box::new(LevelIterator::new(
+                self.ctx.clone(),
+                c.inputs[1].clone(),
+                IoKind::CompactionRead,
+            )));
+        }
+        let mut merged = MergingIterator::new(children);
+        merged.seek_to_first();
+
+        // Merge, dropping shadowed versions and obsolete tombstones while
+        // preserving everything a live snapshot can still observe
+        // (LevelDB's rule: only versions hidden by a *newer* entry that is
+        // itself at or below the smallest snapshot may go).
+        let version = self.versions.current();
+        let smallest_snapshot = self.smallest_snapshot();
+        let mut outputs: Vec<(FileId, Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut builder: Option<TableBuilder> = None;
+        let mut last_user_key: Option<Vec<u8>> = None;
+        let mut last_seq_for_key = MAX_SEQUENCE;
+        let mut gp_index = 0usize;
+        let mut gp_overlap = 0u64;
+        while merged.valid() {
+            let ikey = merged.key().to_vec();
+            let ukey = user_key(&ikey);
+            let first_occurrence = last_user_key.as_deref() != Some(ukey);
+            if first_occurrence {
+                last_user_key = Some(ukey.to_vec());
+                last_seq_for_key = MAX_SEQUENCE;
+                // Output splitting on grandparent overlap.
+                while gp_index < c.grandparents.len()
+                    && user_key(&c.grandparents[gp_index].largest) < ukey
+                {
+                    gp_overlap += c.grandparents[gp_index].size;
+                    gp_index += 1;
+                }
+                if gp_overlap > self.opts.max_grandparent_overlap_bytes {
+                    if let Some(b) = builder.take() {
+                        Self::finish_output(&mut outputs, &mut self.versions, b);
+                    }
+                    gp_overlap = 0;
+                }
+            }
+            let (seq, ty) = parse_trailer(&ikey);
+            let drop_entry = if last_seq_for_key <= smallest_snapshot {
+                // A newer version of this key is visible at every live
+                // snapshot: nothing can observe this one.
+                true
+            } else {
+                ty == ValueType::Deletion
+                    && seq <= smallest_snapshot
+                    && !version.range_overlaps_deeper(c.level + 1, ukey, ukey)
+            };
+            last_seq_for_key = seq;
+            if !drop_entry {
+                let b = builder.get_or_insert_with(|| TableBuilder::new(self.opts.table_options()));
+                b.add(&ikey, merged.value());
+                if b.file_size_estimate() >= self.opts.sstable_size {
+                    let b = builder.take().expect("builder present");
+                    Self::finish_output(&mut outputs, &mut self.versions, b);
+                }
+            }
+            merged.next();
+        }
+        if let Some(b) = builder.take() {
+            if b.num_entries() > 0 {
+                Self::finish_output(&mut outputs, &mut self.versions, b);
+            }
+        }
+
+        // Place outputs contiguously (or per-file, policy's choice).
+        let placed: Vec<(FileId, Vec<u8>)> = outputs
+            .iter()
+            .map(|(id, data, _, _)| (*id, data.clone()))
+            .collect();
+        let (set_id, output_bands) = {
+            let mut guard = self.ctx.lock();
+            let set_id = self.policy.place_outputs(&mut guard.fs, &placed)?;
+            // Count distinct fixed bands the outputs landed in (Fig. 3a).
+            let mut bands = std::collections::BTreeSet::new();
+            if let Some(bs) = guard.fs.disk().band_size() {
+                for (id, _) in &placed {
+                    let ext = guard.fs.file_extent(*id)?;
+                    let first = ext.offset / bs;
+                    let last = (ext.end() - 1) / bs;
+                    bands.extend(first..=last);
+                }
+            }
+            (set_id, bands.len() as u64)
+        };
+
+        // Install the new version.
+        let mut edit = VersionEdit::default();
+        for (which, level) in [(0usize, c.level), (1usize, c.level + 1)] {
+            for f in &c.inputs[which] {
+                edit.delete_file(level, f.id);
+            }
+        }
+        let mut output_bytes = 0u64;
+        for (id, data, smallest, largest) in &outputs {
+            output_bytes += data.len() as u64;
+            edit.add_file(
+                c.level + 1,
+                FileMetaData {
+                    id: *id,
+                    size: data.len() as u64,
+                    smallest: smallest.clone(),
+                    largest: largest.clone(),
+                    set_id,
+                },
+            );
+        }
+        if let Some(last) = c.inputs[0].last() {
+            edit.compact_pointers.push((c.level, last.largest.clone()));
+        }
+        {
+            let mut guard = self.ctx.lock();
+            self.versions.log_and_apply(&mut guard.fs, edit)?;
+            for f in c.inputs.iter().flatten() {
+                self.policy.delete_file(&mut guard.fs, f.id)?;
+            }
+        }
+        for f in c.inputs.iter().flatten() {
+            evict_file(&self.ctx, f.id);
+        }
+        self.ctx.lock().fs.disk_mut().set_trace_tag(0);
+        let end_ns = self.clock_ns();
+        self.compactions.push(CompactionRecord {
+            id: cid,
+            level: c.level,
+            input_files: c.num_input_files(),
+            input_bytes,
+            output_files: outputs.len(),
+            output_bytes,
+            start_ns,
+            duration_ns: end_ns - start_ns,
+            output_bands,
+            trivial_move: false,
+        });
+        Ok(())
+    }
+
+    fn finish_output(
+        outputs: &mut Vec<(FileId, Vec<u8>, Vec<u8>, Vec<u8>)>,
+        versions: &mut VersionSet,
+        builder: TableBuilder,
+    ) {
+        let id = versions.new_file_id();
+        let smallest = builder.first_key().expect("non-empty output").to_vec();
+        let largest = builder.last_key().to_vec();
+        outputs.push((id, builder.finish(), smallest, largest));
+    }
+
+    // ----- snapshots -----
+
+    /// Pins the current state: reads through the returned handle see the
+    /// database as of this moment, regardless of later writes, and
+    /// compactions retain the versions the handle can observe.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let seq = self.versions.last_sequence();
+        self.snapshots.push(seq);
+        Snapshot { seq }
+    }
+
+    /// Releases a snapshot, letting compactions drop its pinned versions.
+    pub fn release_snapshot(&mut self, snap: Snapshot) {
+        if let Some(pos) = self.snapshots.iter().position(|&s| s == snap.seq) {
+            self.snapshots.swap_remove(pos);
+        }
+    }
+
+    /// Number of live snapshots.
+    pub fn live_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The oldest sequence any reader may still observe.
+    fn smallest_snapshot(&self) -> SequenceNumber {
+        self.snapshots
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or_else(|| self.versions.last_sequence())
+    }
+
+    /// Point lookup as of a snapshot.
+    pub fn get_at(&mut self, key: &[u8], snap: &Snapshot) -> Result<Option<Vec<u8>>> {
+        self.get_internal(key, snap.seq)
+    }
+
+    /// Range scan as of a snapshot.
+    pub fn scan_at(
+        &mut self,
+        start: &[u8],
+        limit: usize,
+        snap: &Snapshot,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_internal(start, limit, snap.seq)
+    }
+
+    // ----- read path -----
+
+    /// Point lookup at the latest state.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let snapshot = self.versions.last_sequence();
+        self.get_internal(key, snapshot)
+    }
+
+    fn get_internal(&mut self, key: &[u8], snapshot: SequenceNumber) -> Result<Option<Vec<u8>>> {
+        if let Some(hit) = self.mem.get(key, snapshot) {
+            return Ok(hit);
+        }
+        let lk = lookup_key(key, snapshot);
+        let version = self.versions.current();
+        for (_, f) in version.files_for_get(key) {
+            let table = get_table(&self.ctx, f.id, f.size)?;
+            if table.bloom_excludes(key) {
+                continue;
+            }
+            let mut it = table.iter(self.ctx.clone(), IoKind::Get);
+            it.seek(&lk);
+            if let Some(e) = it.take_error() {
+                return Err(e);
+            }
+            if it.valid() && user_key(it.key()) == key {
+                let (_, ty) = parse_trailer(it.key());
+                return Ok(match ty {
+                    ValueType::Value => Some(it.value().to_vec()),
+                    ValueType::Deletion => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan: up to `limit` visible entries with user key >= `start`.
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let snapshot = self.versions.last_sequence();
+        self.scan_internal(start, limit, snapshot)
+    }
+
+    fn scan_internal(
+        &mut self,
+        start: &[u8],
+        limit: usize,
+        snapshot: SequenceNumber,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let version = self.versions.current();
+        let mut children: Vec<Box<dyn InternalIterator + '_>> =
+            vec![Box::new(self.mem.iter())];
+        for f in &version.files[0] {
+            let table = get_table(&self.ctx, f.id, f.size)?;
+            children.push(Box::new(table.iter(self.ctx.clone(), IoKind::Scan)));
+        }
+        for level in 1..version.num_levels() {
+            if !version.files[level].is_empty() {
+                children.push(Box::new(LevelIterator::new(
+                    self.ctx.clone(),
+                    version.files[level].clone(),
+                    IoKind::Scan,
+                )));
+            }
+        }
+        let mut it = DbIterator::new(MergingIterator::new(children), snapshot);
+        it.seek(start);
+        Ok(it.collect(limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placement::Ext4Sim;
+    use smr_sim::{Layout, TimeModel};
+
+    const MB: u64 = 1 << 20;
+
+    fn open_db(sstable: u64) -> DbCore {
+        let cap = 1024 * MB;
+        let disk = Disk::new(cap, Layout::Hdd, TimeModel::hdd_st1000dm003(cap));
+        let mut opts = Options::scaled(sstable);
+        // Tests exercise durability: sync every write.
+        opts.wal_buffer_bytes = 0;
+        let alloc = Ext4Sim::new(cap - opts.log_zone_bytes, 16 * MB);
+        let policy = crate::policy::PerFilePolicy::new(Box::new(alloc));
+        DbCore::open(disk, opts, Box::new(policy)).unwrap()
+    }
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key{:012}", i).into_bytes(),
+            format!("value-{i:06}-{}", "x".repeat(100)).into_bytes(),
+        )
+    }
+
+    #[test]
+    fn put_get_small() {
+        let mut db = open_db(64 << 10);
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v));
+        }
+        assert_eq!(db.get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_and_delete() {
+        let mut db = open_db(64 << 10);
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        db.put(b"k", b"v3").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v3".to_vec()));
+    }
+
+    #[test]
+    fn flush_creates_l0_tables_and_reads_survive() {
+        let mut db = open_db(64 << 10);
+        let n = 2000u64;
+        for i in 0..n {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.flush_count() > 0);
+        assert!(db.current_version().total_files() > 0);
+        for i in (0..n).step_by(97) {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v), "key {i}");
+        }
+    }
+
+    #[test]
+    fn random_load_compacts_and_stays_correct() {
+        let mut db = open_db(32 << 10);
+        let n = 4000u64;
+        // Scrambled insertion order.
+        for i in 0..n {
+            let j = (i * 2654435761) % n;
+            let (k, v) = kv(j);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        let real: Vec<&CompactionRecord> =
+            db.compaction_log().iter().filter(|c| !c.trivial_move).collect();
+        assert!(!real.is_empty(), "expected real compactions");
+        // Deeper levels populated.
+        let v = db.current_version();
+        assert!(v.level_file_count(1) + v.level_file_count(2) > 0);
+        v.check_invariants().unwrap();
+        for i in (0..n).step_by(131) {
+            let (k, val) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(val), "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_returns_sorted_visible_entries() {
+        let mut db = open_db(32 << 10);
+        let n = 1500u64;
+        for i in 0..n {
+            let j = (i * 7919) % n;
+            let (k, v) = kv(j);
+            db.put(&k, &v).unwrap();
+        }
+        // Delete a stripe.
+        for i in 100..120 {
+            let (k, _) = kv(i);
+            db.delete(&k).unwrap();
+        }
+        let got = db.scan(&kv(90).0, 40).unwrap();
+        assert_eq!(got.len(), 40);
+        // Sorted and skipping the deleted stripe.
+        let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_slice()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        for i in 100..120 {
+            let (k, _) = kv(i);
+            assert!(!keys.contains(&k.as_slice()), "deleted key {i} visible");
+        }
+        // Values are the right ones.
+        for (k, v) in &got {
+            let i: u64 = String::from_utf8_lossy(&k[3..]).parse().unwrap();
+            assert_eq!(v, &kv(i).1);
+        }
+    }
+
+    #[test]
+    fn scan_sees_memtable_and_disk_merged() {
+        let mut db = open_db(32 << 10);
+        for i in 0..1000u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        // Fresh writes stay in the memtable.
+        db.put(&kv(2000).0, b"fresh").unwrap();
+        db.put(&kv(500).0, b"updated").unwrap();
+        let got = db.scan(&kv(499).0, 3).unwrap();
+        assert_eq!(got[1].0, kv(500).0);
+        assert_eq!(got[1].1, b"updated");
+        let got = db.scan(&kv(1999).0, 2).unwrap();
+        assert_eq!(got[0].1, b"fresh");
+    }
+
+    #[test]
+    fn wal_recovery_replays_unflushed_writes() {
+        let mut db = open_db(256 << 10); // large buffer: nothing flushes
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let seq_before = db.last_sequence();
+        // Simulate a crash: reopen without flushing.
+        let mut db = db.reopen().unwrap();
+        assert_eq!(db.last_sequence(), seq_before);
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v), "key {i} lost in recovery");
+        }
+    }
+
+    #[test]
+    fn recovery_after_flush_uses_manifest() {
+        let mut db = open_db(32 << 10);
+        for i in 0..2000u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 2000..2050u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let mut db = db.reopen().unwrap();
+        for i in (0..2050u64).step_by(41) {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v), "key {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_see_frozen_state() {
+        let mut db = open_db(16 << 10);
+        for i in 0..500u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let snap = db.snapshot();
+        // Overwrite and delete after the snapshot.
+        for i in 0..500u64 {
+            let (k, _) = kv(i);
+            if i % 3 == 0 {
+                db.delete(&k).unwrap();
+            } else {
+                db.put(&k, b"new-value").unwrap();
+            }
+        }
+        db.flush().unwrap();
+        for i in (0..500u64).step_by(17) {
+            let (k, v) = kv(i);
+            assert_eq!(db.get_at(&k, &snap).unwrap(), Some(v), "snapshot read {i}");
+            let live = db.get(&k).unwrap();
+            if i % 3 == 0 {
+                assert_eq!(live, None);
+            } else {
+                assert_eq!(live, Some(b"new-value".to_vec()));
+            }
+        }
+        // Snapshot scans see the old values too.
+        let got = db.scan_at(&kv(0).0, 5, &snap).unwrap();
+        assert_eq!(got[0].1, kv(0).1);
+        db.release_snapshot(snap);
+        assert_eq!(db.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshot_survives_compactions() {
+        let mut db = open_db(8 << 10);
+        for i in 0..1000u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        let snap = db.snapshot();
+        // Churn hard: several full overwrites force compactions that
+        // would drop the old versions were the snapshot not pinned.
+        for round in 0..3u64 {
+            for i in 0..1000u64 {
+                let (k, _) = kv(i);
+                db.put(&k, format!("round-{round}").as_bytes()).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        for i in (0..1000u64).step_by(41) {
+            let (k, v) = kv(i);
+            assert_eq!(db.get_at(&k, &snap).unwrap(), Some(v), "pinned version {i}");
+            assert_eq!(db.get(&k).unwrap(), Some(b"round-2".to_vec()));
+        }
+        db.release_snapshot(snap);
+        // After release, further churn may reclaim the old versions; the
+        // live state stays correct.
+        for i in 0..1000u64 {
+            let (k, _) = kv(i);
+            db.put(&k, b"final").unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.get(&kv(7).0).unwrap(), Some(b"final".to_vec()));
+    }
+
+    #[test]
+    fn user_payload_accounted() {
+        let mut db = open_db(64 << 10);
+        db.put(b"0123456789", &vec![7u8; 90]).unwrap();
+        let payload = db.ctx().lock().fs.disk().stats().user_payload;
+        assert_eq!(payload, 100);
+    }
+
+    #[test]
+    fn sequential_load_uses_trivial_moves() {
+        let mut db = open_db(32 << 10);
+        for i in 0..4000u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        let trivial = db.compaction_log().iter().filter(|c| c.trivial_move).count();
+        assert!(trivial > 0, "sequential load should move files trivially");
+        // Sequential load: write amplification stays near 1.
+        let stats = db.ctx().lock().fs.disk().stats().clone();
+        assert!(stats.wa() < 2.0, "WA {} too high for sequential load", stats.wa());
+    }
+}

@@ -1,0 +1,369 @@
+//! The file store: the paper's §III-D "indirection from file name to disk
+//! location". The engines here never sit on a filesystem — every SSTable
+//! is a (file id → physical extent) mapping onto the simulated disk, and
+//! WAL/manifest logs live in a small conventional zone at the top of the
+//! address space (real HM-SMR drives expose such a zone for metadata).
+
+use crate::error::{Error, Result};
+use crate::types::FileId;
+use smr_sim::{Disk, Extent, IoKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Chunk granularity of the conventional log zone.
+pub const LOG_CHUNK: u64 = 256 * 1024;
+
+struct LogFile {
+    chunks: Vec<u64>,
+    len: u64,
+}
+
+struct LogZone {
+    base: u64,
+    chunk_count: u64,
+    free: BTreeSet<u64>,
+}
+
+impl LogZone {
+    fn chunk_addr(&self, idx: u64) -> u64 {
+        self.base + idx * LOG_CHUNK
+    }
+}
+
+/// File-id → extent indirection over one simulated disk.
+pub struct FileStore {
+    disk: Disk,
+    files: HashMap<FileId, Extent>,
+    logs: HashMap<FileId, LogFile>,
+    zone: LogZone,
+}
+
+impl FileStore {
+    /// Wraps a disk, reserving `log_zone_bytes` at the top of the address
+    /// space for WAL/manifest logs. Allocators for table data must be
+    /// sized to `disk.capacity() - log_zone_bytes` so they never collide
+    /// with the zone.
+    pub fn new(disk: Disk, log_zone_bytes: u64) -> Self {
+        let capacity = disk.capacity();
+        assert!(log_zone_bytes <= capacity, "log zone exceeds capacity");
+        let chunk_count = log_zone_bytes / LOG_CHUNK;
+        let base = capacity - chunk_count * LOG_CHUNK;
+        FileStore {
+            disk,
+            files: HashMap::new(),
+            logs: HashMap::new(),
+            zone: LogZone {
+                base,
+                chunk_count,
+                free: (0..chunk_count).collect(),
+            },
+        }
+    }
+
+    /// First byte of the log zone (data allocators must stay below this).
+    pub fn data_capacity(&self) -> u64 {
+        self.zone.base
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Mutable access to the underlying disk (stats, traces, clock).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    // ----- table files -----
+
+    /// Writes `data` at `ext` and registers it as file `id`. The extent
+    /// comes from a placement policy's allocator.
+    pub fn write_file_at(&mut self, id: FileId, ext: Extent, data: &[u8], kind: IoKind) -> Result<()> {
+        debug_assert_eq!(ext.len as usize, data.len());
+        self.disk.set_trace_file(id);
+        self.disk.write(ext, data, kind)?;
+        self.files.insert(id, ext);
+        Ok(())
+    }
+
+    /// Registers a file without writing (recovery path).
+    pub fn register_file(&mut self, id: FileId, ext: Extent) {
+        self.files.insert(id, ext);
+    }
+
+    /// The extent a file occupies.
+    pub fn file_extent(&self, id: FileId) -> Result<Extent> {
+        self.files
+            .get(&id)
+            .copied()
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown file {id}")))
+    }
+
+    /// Whether a file id is registered.
+    pub fn has_file(&self, id: FileId) -> bool {
+        self.files.contains_key(&id)
+    }
+
+    /// Number of registered table files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Reads `len` bytes at `offset` within file `id`.
+    pub fn read_file(&mut self, id: FileId, offset: u64, len: u64, kind: IoKind) -> Result<Vec<u8>> {
+        let ext = self.file_extent(id)?;
+        if offset + len > ext.len {
+            return Err(Error::InvalidArgument(format!(
+                "read past end of file {id}: {offset}+{len} > {}",
+                ext.len
+            )));
+        }
+        self.disk.set_trace_file(id);
+        Ok(self.disk.read(Extent::new(ext.offset + offset, len), kind)?)
+    }
+
+    /// Reads a whole file in one sequential access.
+    pub fn read_full(&mut self, id: FileId, kind: IoKind) -> Result<Vec<u8>> {
+        let ext = self.file_extent(id)?;
+        self.disk.set_trace_file(id);
+        Ok(self.disk.read(ext, kind)?)
+    }
+
+    /// Unregisters a file and invalidates its bytes on disk, returning the
+    /// extent so the placement policy can recycle it when appropriate.
+    pub fn drop_file(&mut self, id: FileId) -> Result<Extent> {
+        let ext = self
+            .files
+            .remove(&id)
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown file {id}")))?;
+        self.disk.set_trace_file(id);
+        self.disk.invalidate(ext);
+        Ok(ext)
+    }
+
+    // ----- conventional-zone logs -----
+
+    /// Creates an empty log file.
+    pub fn create_log(&mut self, id: FileId) -> Result<()> {
+        if self.logs.contains_key(&id) {
+            return Err(Error::InvalidArgument(format!("log {id} already exists")));
+        }
+        self.logs.insert(
+            id,
+            LogFile {
+                chunks: Vec::new(),
+                len: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Whether a log id exists.
+    pub fn has_log(&self, id: FileId) -> bool {
+        self.logs.contains_key(&id)
+    }
+
+    /// Appends bytes to a log file.
+    pub fn log_append(&mut self, id: FileId, data: &[u8], kind: IoKind) -> Result<()> {
+        // Gather the chunk-spanning pieces first so `self` isn't borrowed
+        // across the disk writes.
+        let (mut len, mut chunks_needed) = {
+            let log = self
+                .logs
+                .get(&id)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
+            (log.len, Vec::new())
+        };
+        let mut pos = 0usize;
+        let mut pieces: Vec<(u64, usize, usize)> = Vec::new(); // (disk offset, start, end)
+        {
+            let log = self.logs.get(&id).expect("checked above");
+            let mut chunk_list = log.chunks.clone();
+            while pos < data.len() {
+                let within = len % LOG_CHUNK;
+                let chunk_idx_in_file = (len / LOG_CHUNK) as usize;
+                if chunk_idx_in_file == chunk_list.len() {
+                    let chunk = self
+                        .zone
+                        .free
+                        .iter()
+                        .next()
+                        .copied()
+                        .ok_or_else(|| Error::InvalidArgument("log zone full".into()))?;
+                    self.zone.free.remove(&chunk);
+                    chunks_needed.push(chunk);
+                    chunk_list.push(chunk);
+                }
+                let chunk = chunk_list[chunk_idx_in_file];
+                let n = ((LOG_CHUNK - within) as usize).min(data.len() - pos);
+                pieces.push((self.zone.chunk_addr(chunk) + within, pos, pos + n));
+                pos += n;
+                len += n as u64;
+            }
+        }
+        for (off, s, e) in pieces {
+            self.disk.set_trace_file(id);
+            self.disk
+                .write_conventional(Extent::new(off, (e - s) as u64), &data[s..e], kind)?;
+        }
+        let log = self.logs.get_mut(&id).expect("checked above");
+        log.chunks.extend(chunks_needed);
+        log.len = len;
+        Ok(())
+    }
+
+    /// Reads a log file's full contents.
+    pub fn log_read_all(&mut self, id: FileId, kind: IoKind) -> Result<Vec<u8>> {
+        let (chunks, len) = {
+            let log = self
+                .logs
+                .get(&id)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
+            (log.chunks.clone(), log.len)
+        };
+        let mut out = Vec::with_capacity(len as usize);
+        let mut remaining = len;
+        for chunk in chunks {
+            let n = remaining.min(LOG_CHUNK);
+            self.disk.set_trace_file(id);
+            let piece = self
+                .disk
+                .read(Extent::new(self.zone.chunk_addr(chunk), n), kind)?;
+            out.extend_from_slice(&piece);
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// Length of a log file in bytes.
+    pub fn log_len(&self, id: FileId) -> Result<u64> {
+        self.logs
+            .get(&id)
+            .map(|l| l.len)
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))
+    }
+
+    /// Deletes a log file and recycles its chunks.
+    pub fn delete_log(&mut self, id: FileId) -> Result<()> {
+        let log = self
+            .logs
+            .remove(&id)
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
+        for chunk in log.chunks {
+            self.disk
+                .invalidate(Extent::new(self.zone.chunk_addr(chunk), LOG_CHUNK));
+            self.zone.free.insert(chunk);
+        }
+        Ok(())
+    }
+
+    /// Ids of all logs currently present.
+    pub fn log_ids(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = self.logs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Free chunks remaining in the log zone.
+    pub fn log_zone_free_chunks(&self) -> u64 {
+        self.zone.free.len() as u64
+    }
+
+    /// Total chunks in the log zone.
+    pub fn log_zone_chunks(&self) -> u64 {
+        self.zone.chunk_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_sim::{Layout, TimeModel};
+
+    const MB: u64 = 1 << 20;
+
+    fn fs() -> FileStore {
+        let cap = 256 * MB;
+        let disk = Disk::new(
+            cap,
+            Layout::RawHmSmr { guard_bytes: MB },
+            TimeModel::smr_st5000as0011(cap),
+        );
+        FileStore::new(disk, 16 * MB)
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut s = fs();
+        let data = vec![0x5A; 1 << 16];
+        s.write_file_at(7, Extent::new(0, data.len() as u64), &data, IoKind::Flush)
+            .unwrap();
+        assert!(s.has_file(7));
+        assert_eq!(s.read_full(7, IoKind::Get).unwrap(), data);
+        assert_eq!(
+            s.read_file(7, 100, 16, IoKind::Get).unwrap(),
+            vec![0x5A; 16]
+        );
+        let ext = s.drop_file(7).unwrap();
+        assert_eq!(ext, Extent::new(0, 1 << 16));
+        assert!(!s.has_file(7));
+        assert!(s.read_full(7, IoKind::Get).is_err());
+    }
+
+    #[test]
+    fn read_past_end_rejected() {
+        let mut s = fs();
+        s.write_file_at(1, Extent::new(0, 8), &[1; 8], IoKind::Flush)
+            .unwrap();
+        assert!(s.read_file(1, 4, 8, IoKind::Get).is_err());
+    }
+
+    #[test]
+    fn log_append_read_roundtrip() {
+        let mut s = fs();
+        s.create_log(100).unwrap();
+        let a: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        s.log_append(100, &a, IoKind::Wal).unwrap();
+        let b = vec![9u8; 600 * 1024]; // spans multiple chunks
+        s.log_append(100, &b, IoKind::Wal).unwrap();
+        let all = s.log_read_all(100, IoKind::Meta).unwrap();
+        assert_eq!(all.len(), a.len() + b.len());
+        assert_eq!(&all[..a.len()], &a[..]);
+        assert_eq!(&all[a.len()..], &b[..]);
+        assert_eq!(s.log_len(100).unwrap(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn log_delete_recycles_chunks() {
+        let mut s = fs();
+        let before = s.log_zone_free_chunks();
+        s.create_log(5).unwrap();
+        s.log_append(5, &vec![1u8; 1 << 20], IoKind::Wal).unwrap();
+        assert!(s.log_zone_free_chunks() < before);
+        s.delete_log(5).unwrap();
+        assert_eq!(s.log_zone_free_chunks(), before);
+        assert!(!s.has_log(5));
+    }
+
+    #[test]
+    fn log_zone_is_isolated_from_data() {
+        let s = fs();
+        assert_eq!(s.data_capacity(), 240 * MB);
+        assert_eq!(s.log_zone_chunks(), 64);
+    }
+
+    #[test]
+    fn duplicate_log_rejected() {
+        let mut s = fs();
+        s.create_log(1).unwrap();
+        assert!(s.create_log(1).is_err());
+    }
+
+    #[test]
+    fn wal_bytes_are_accounted() {
+        let mut s = fs();
+        s.create_log(1).unwrap();
+        s.log_append(1, &[7u8; 4096], IoKind::Wal).unwrap();
+        assert_eq!(s.disk().stats().kind(IoKind::Wal).logical_written, 4096);
+    }
+}

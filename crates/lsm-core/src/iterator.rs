@@ -1,0 +1,223 @@
+//! The internal iterator abstraction shared by memtables, blocks, tables
+//! and the merging machinery. Keys are *internal keys*; iteration is
+//! forward-only (all the paper's workloads — compactions, point gets and
+//! YCSB range scans — only need forward iteration).
+
+use crate::types::internal_compare;
+use std::cmp::Ordering;
+
+/// A forward iterator over (internal key, value) pairs in internal-key
+/// order.
+pub trait InternalIterator {
+    /// Whether the iterator is positioned at an entry.
+    fn valid(&self) -> bool;
+    /// Positions at the first entry.
+    fn seek_to_first(&mut self);
+    /// Positions at the first entry with key >= `target` (internal key).
+    fn seek(&mut self, target: &[u8]);
+    /// Advances to the next entry. Requires `valid()`.
+    fn next(&mut self);
+    /// Current internal key. Requires `valid()`.
+    fn key(&self) -> &[u8];
+    /// Current value. Requires `valid()`.
+    fn value(&self) -> &[u8];
+}
+
+/// Merges N child iterators into one sorted stream (smallest internal key
+/// first; ties broken by child index, so earlier children shadow later
+/// ones — callers order children newest-first).
+pub struct MergingIterator<'a> {
+    children: Vec<Box<dyn InternalIterator + 'a>>,
+    current: Option<usize>,
+}
+
+impl<'a> MergingIterator<'a> {
+    /// Creates a merging iterator; children need not be positioned.
+    pub fn new(children: Vec<Box<dyn InternalIterator + 'a>>) -> Self {
+        MergingIterator {
+            children,
+            current: None,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if internal_compare(child.key(), self.children[b].key()) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        self.current = best;
+    }
+}
+
+impl<'a> InternalIterator for MergingIterator<'a> {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) {
+        for c in &mut self.children {
+            c.seek_to_first();
+        }
+        self.find_smallest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for c in &mut self.children {
+            c.seek(target);
+        }
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        let cur = self.current.expect("next() on invalid iterator");
+        self.children[cur].next();
+        self.find_smallest();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("key() on invalid iterator")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("value() on invalid iterator")].value()
+    }
+}
+
+/// An iterator over an in-memory sorted list of (internal key, value)
+/// pairs; used in tests and as a building block.
+pub struct VecIterator {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+}
+
+impl VecIterator {
+    /// Creates from entries already sorted by internal key.
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| internal_compare(&w[0].0, &w[1].0) != Ordering::Greater));
+        let pos = entries.len();
+        VecIterator { entries, pos }
+    }
+}
+
+impl InternalIterator for VecIterator {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.pos = self
+            .entries
+            .partition_point(|(k, _)| internal_compare(k, target) == Ordering::Less);
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.pos += 1;
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, ValueType};
+
+    fn ik(k: &str, seq: u64) -> Vec<u8> {
+        make_internal_key(k.as_bytes(), seq, ValueType::Value)
+    }
+
+    fn collect(it: &mut dyn InternalIterator) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        it.seek_to_first();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn vec_iterator_seek() {
+        let mut it = VecIterator::new(vec![
+            (ik("a", 1), b"1".to_vec()),
+            (ik("c", 1), b"2".to_vec()),
+            (ik("e", 1), b"3".to_vec()),
+        ]);
+        it.seek(&ik("b", u64::MAX >> 8));
+        assert!(it.valid());
+        assert_eq!(it.value(), b"2");
+        it.seek(&ik("f", 0));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merging_interleaves_sorted() {
+        let a = VecIterator::new(vec![(ik("a", 1), vec![]), (ik("d", 1), vec![])]);
+        let b = VecIterator::new(vec![(ik("b", 1), vec![]), (ik("c", 1), vec![])]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        let keys: Vec<Vec<u8>> = collect(&mut m).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![ik("a", 1), ik("b", 1), ik("c", 1), ik("d", 1)]);
+    }
+
+    #[test]
+    fn merging_newer_sequence_comes_first() {
+        let newer = VecIterator::new(vec![(ik("k", 9), b"new".to_vec())]);
+        let older = VecIterator::new(vec![(ik("k", 3), b"old".to_vec())]);
+        let mut m = MergingIterator::new(vec![Box::new(newer), Box::new(older)]);
+        m.seek_to_first();
+        assert_eq!(m.value(), b"new");
+        m.next();
+        assert_eq!(m.value(), b"old");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merging_empty_children() {
+        let a = VecIterator::new(vec![]);
+        let b = VecIterator::new(vec![(ik("x", 1), vec![])]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek_to_first();
+        assert!(m.valid());
+        m.next();
+        assert!(!m.valid());
+        let mut empty = MergingIterator::new(vec![]);
+        empty.seek_to_first();
+        assert!(!empty.valid());
+    }
+
+    #[test]
+    fn merging_seek() {
+        let a = VecIterator::new(vec![(ik("a", 1), vec![]), (ik("m", 1), vec![])]);
+        let b = VecIterator::new(vec![(ik("f", 1), vec![]), (ik("z", 1), vec![])]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek(&ik("g", u64::MAX >> 8));
+        assert!(m.valid());
+        assert_eq!(crate::types::user_key(m.key()), b"m");
+    }
+}

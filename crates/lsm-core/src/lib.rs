@@ -1,0 +1,45 @@
+//! # lsm-core — a LevelDB-style LSM-tree engine on simulated SMR disks
+//!
+//! A from-scratch reproduction of the LevelDB architecture the SEALDB
+//! paper builds on (its Fig. 1): write-ahead log → arena-skiplist
+//! memtable → L0 SSTable flush → leveled compaction with amplification
+//! factor 10. The engine runs *directly on* the [`smr_sim`] simulated
+//! disk through a file-id → extent indirection (§III-D of the paper: no
+//! filesystem), and delegates every physical-placement decision to a
+//! [`policy::PlacementPolicy`] — the seam where the `sealdb` crate
+//! implements sets and dynamic bands.
+//!
+//! ```
+//! use lsm_core::db::{options::Options, DbCore};
+//! use lsm_core::policy::PerFilePolicy;
+//! use placement::Ext4Sim;
+//! use smr_sim::{Disk, Layout, TimeModel};
+//!
+//! let cap = 1 << 30;
+//! let disk = Disk::new(cap, Layout::Hdd, TimeModel::hdd_st1000dm003(cap));
+//! let opts = Options::scaled(256 << 10);
+//! let alloc = Ext4Sim::new(cap - opts.log_zone_bytes, 16 << 20);
+//! let mut db = DbCore::open(disk, opts, Box::new(PerFilePolicy::new(Box::new(alloc)))).unwrap();
+//! db.put(b"hello", b"world").unwrap();
+//! assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+//! ```
+
+pub mod cache;
+pub mod context;
+pub mod db;
+pub mod error;
+pub mod filestore;
+pub mod iterator;
+pub mod memtable;
+pub mod policy;
+pub mod sstable;
+pub mod types;
+pub mod util;
+pub mod version;
+pub mod wal;
+
+pub use db::{batch::WriteBatch, options::Options, CompactionRecord, DbCore, Snapshot};
+pub use error::{Error, Result};
+pub use filestore::FileStore;
+pub use policy::{GcConfig, GcReport, PerFilePolicy, PlacementPolicy, SetStats};
+pub use types::{FileId, SequenceNumber, ValueType};

@@ -1,0 +1,9 @@
+//! SSTable machinery: blocks, filters, builder and reader.
+
+pub mod block;
+pub mod table;
+
+pub use block::{Block, BlockBuilder, BlockIter};
+pub use table::{
+    scan_all, BlockHandle, Table, TableBuilder, TableIterator, TableOptions, FOOTER_SIZE,
+};

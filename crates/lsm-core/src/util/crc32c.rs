@@ -1,0 +1,100 @@
+//! CRC-32C (Castagnoli) with LevelDB's masking, used by the WAL and the
+//! SSTable block trailers. Software implementation with a 4-bit-sliced
+//! lookup table built at first use.
+
+/// Castagnoli polynomial, reflected.
+const POLY: u32 = 0x82F63B78;
+
+fn table() -> &'static [[u32; 256]; 4] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[[u32; 256]; 4]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 4]);
+        for i in 0..256u32 {
+            let mut crc = i;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            t[0][i as usize] = crc;
+        }
+        for i in 0..256usize {
+            for s in 1..4usize {
+                t[s][i] = (t[s - 1][i] >> 8) ^ t[0][(t[s - 1][i] & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extends a running CRC-32C with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let v = crc ^ u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        crc = t[3][(v & 0xFF) as usize]
+            ^ t[2][((v >> 8) & 0xFF) as usize]
+            ^ t[1][((v >> 16) & 0xFF) as usize]
+            ^ t[0][(v >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282ead8;
+
+/// LevelDB's CRC masking: stored CRCs are masked so that computing the
+/// CRC of a string containing embedded CRCs stays well-behaved.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Inverse of [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vectors() {
+        // From RFC 3720 (iSCSI) test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A9136AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD794E);
+        assert_eq!(crc32c(b"123456789"), 0xE3069283);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"hello world, this is a crc test vector";
+        let whole = crc32c(data);
+        let split = extend(crc32c(&data[..10]), &data[10..]);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        for crc in [0u32, 1, 0xDEADBEEF, u32::MAX] {
+            assert_eq!(unmask(mask(crc)), crc);
+            assert_ne!(mask(crc), crc, "mask must change the value");
+        }
+    }
+
+    #[test]
+    fn different_data_different_crc() {
+        assert_ne!(crc32c(b"a"), crc32c(b"b"));
+        assert_ne!(crc32c(b"ab"), crc32c(b"ba"));
+    }
+}

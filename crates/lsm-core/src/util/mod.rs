@@ -1,0 +1,6 @@
+//! Internal utilities: wire coding, checksums, bloom filters, RNG.
+
+pub mod bloom;
+pub mod coding;
+pub mod crc32c;
+pub mod rng;

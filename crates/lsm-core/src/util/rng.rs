@@ -1,0 +1,89 @@
+//! A tiny deterministic xorshift64* RNG for internal randomness (skiplist
+//! heights). Keeping this in-crate (instead of `rand`) makes the engine's
+//! behaviour bit-reproducible across dependency upgrades — important for
+//! the paper's deterministic figure regeneration.
+
+/// xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift reduction; bias is negligible for our uses.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// True with probability `1/n`.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.next_below(n) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut r = XorShift64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn one_in_roughly_calibrated() {
+        let mut r = XorShift64::new(99);
+        let hits = (0..40_000).filter(|_| r.one_in(4)).count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((0.22..0.28).contains(&rate), "rate {rate}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Versioned file-layout metadata: edits, versions, and the version set
+//! with manifest logging and compaction picking.
+
+pub mod edit;
+pub mod set;
+#[allow(clippy::module_inception)]
+pub mod version;
+
+pub use edit::{FileMetaData, FileMetaHandle, VersionEdit};
+pub use set::{Compaction, LevelParams, VersionSet, FSMETA_LOG_ID, MANIFEST_LOG_ID};
+pub use version::Version;

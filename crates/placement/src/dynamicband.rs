@@ -1,0 +1,304 @@
+//! Dynamic band management (§III-B, §III-C of the paper).
+//!
+//! Serves allocations against a raw HM-SMR drive:
+//!
+//! * **Append** — while no recycled free space fits, data is appended at
+//!   the frontier of the banded region. Consecutive appends need no guard
+//!   (sequential shingled writes never damage earlier tracks).
+//! * **Insert** — a freed region can be reused iff
+//!   `S_free ≥ S_req + S_guard` (Eq. 1): the data plus a trailing guard
+//!   region that protects the valid data shingled after the hole.
+//! * **Split** — inserting into a larger hole returns the remainder
+//!   (beyond data + guard) to the free-space list.
+//! * **Coalesce** — adjacent freed regions merge (handled inside
+//!   [`FreeSpaceList`]).
+//!
+//! Byte ranges between two guard gaps form a *dynamic band*; the
+//! [`DynamicBandAlloc::bands`] snapshot reconstructs them for Fig. 13.
+
+use crate::freelist::FreeSpaceList;
+use crate::{AllocError, Allocator};
+use smr_sim::Extent;
+use std::collections::BTreeMap;
+
+/// Record of one live allocation: the data extent plus any guard bytes
+/// reserved immediately after it (returned to the free pool together).
+#[derive(Clone, Copy, Debug)]
+struct AllocRecord {
+    data_len: u64,
+    reserved_len: u64,
+}
+
+/// The paper's dynamic-band allocator.
+pub struct DynamicBandAlloc {
+    capacity: u64,
+    /// Guard region size (`S_guard`); one SSTable in the paper (4 MB).
+    guard: u64,
+    /// End of the banded region; beyond it lies the never-written
+    /// residual space.
+    frontier: u64,
+    free: FreeSpaceList,
+    live: BTreeMap<u64, AllocRecord>,
+    allocated: u64,
+}
+
+impl DynamicBandAlloc {
+    /// Creates an allocator over `capacity` bytes with `sstable_size`
+    /// size-class alignment and `guard` guard-region bytes.
+    pub fn new(capacity: u64, sstable_size: u64, guard: u64) -> Self {
+        DynamicBandAlloc {
+            capacity,
+            guard,
+            frontier: 0,
+            free: FreeSpaceList::new(sstable_size),
+            live: BTreeMap::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Guard-region size in bytes.
+    pub fn guard_bytes(&self) -> u64 {
+        self.guard
+    }
+
+    /// Current frontier (end of the banded region).
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+
+    /// Total bytes in the recycled free pool.
+    pub fn free_pool_bytes(&self) -> u64 {
+        self.free.total_bytes()
+    }
+
+    /// Free regions smaller than `threshold` — the paper's *fragments*
+    /// (Fig. 13 ignores free regions larger than the average set size).
+    pub fn fragments(&self, threshold: u64) -> Vec<Extent> {
+        self.free
+            .regions()
+            .into_iter()
+            .filter(|e| e.len < threshold)
+            .collect()
+    }
+
+    /// Reconstructs the dynamic bands: maximal runs of live allocations
+    /// uninterrupted by free space, as in Fig. 6 / Fig. 13. Returns
+    /// (band extent, number of live allocations inside).
+    pub fn bands(&self) -> Vec<(Extent, usize)> {
+        let mut bands: Vec<(Extent, usize)> = Vec::new();
+        for (&off, rec) in &self.live {
+            match bands.last_mut() {
+                Some((ext, count)) if ext.end() == off => {
+                    ext.len += rec.reserved_len;
+                    *count += 1;
+                }
+                _ => {
+                    bands.push((Extent::new(off, rec.reserved_len), 1));
+                }
+            }
+        }
+        bands
+    }
+}
+
+impl Allocator for DynamicBandAlloc {
+    fn allocate(&mut self, size: u64) -> Result<Extent, AllocError> {
+        if size == 0 {
+            return Err(AllocError::Unsupported("zero-size allocation".into()));
+        }
+        // Eq. 1: a recycled hole must hold the data plus a guard region.
+        let need = size + self.guard;
+        if let Some(hole) = self.free.take(need) {
+            debug_assert!(hole.len >= need);
+            // Split: data | guard | remainder (returned to the pool).
+            let remainder = hole.len - need;
+            if remainder > 0 {
+                self.free
+                    .insert(Extent::new(hole.offset + need, remainder));
+            }
+            self.live.insert(
+                hole.offset,
+                AllocRecord {
+                    data_len: size,
+                    reserved_len: need,
+                },
+            );
+            self.allocated += size;
+            return Ok(Extent::new(hole.offset, size));
+        }
+        // Append at the frontier of the banded region. No guard is
+        // reserved: the space past the frontier holds no valid data.
+        if self.frontier + size > self.capacity {
+            return Err(AllocError::OutOfSpace {
+                requested: size,
+                free: self.free.total_bytes() + (self.capacity - self.frontier),
+            });
+        }
+        let ext = Extent::new(self.frontier, size);
+        self.live.insert(
+            ext.offset,
+            AllocRecord {
+                data_len: size,
+                reserved_len: size,
+            },
+        );
+        self.frontier += size;
+        self.allocated += size;
+        Ok(ext)
+    }
+
+    fn free(&mut self, ext: Extent) {
+        let rec = self
+            .live
+            .remove(&ext.offset)
+            .unwrap_or_else(|| panic!("free of unknown extent {ext:?}"));
+        assert_eq!(rec.data_len, ext.len, "free with wrong length for {ext:?}");
+        self.allocated -= rec.data_len;
+        // The guard bytes reserved with the allocation are recycled too;
+        // coalescing happens inside the free list.
+        self.free
+            .insert(Extent::new(ext.offset, rec.reserved_len));
+    }
+
+    fn high_water(&self) -> u64 {
+        self.frontier
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    fn free_regions(&self) -> Vec<Extent> {
+        self.free.regions()
+    }
+
+    fn name(&self) -> &'static str {
+        "dynamic-band"
+    }
+
+    fn band_snapshot(&self) -> Vec<(Extent, usize)> {
+        self.bands()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+    const SST: u64 = 4 * MB;
+
+    fn alloc() -> DynamicBandAlloc {
+        DynamicBandAlloc::new(1024 * MB, SST, SST)
+    }
+
+    #[test]
+    fn appends_are_contiguous() {
+        let mut a = alloc();
+        let e1 = a.allocate(12 * MB).unwrap();
+        let e2 = a.allocate(8 * MB).unwrap();
+        assert_eq!(e1, Extent::new(0, 12 * MB));
+        assert_eq!(e2, Extent::new(12 * MB, 8 * MB));
+        assert_eq!(a.frontier(), 20 * MB);
+        assert_eq!(a.bands().len(), 1);
+    }
+
+    #[test]
+    fn eq1_insert_requires_guard_headroom() {
+        let mut a = alloc();
+        let s1 = a.allocate(12 * MB).unwrap();
+        let _s2 = a.allocate(8 * MB).unwrap();
+        a.free(s1);
+        // The 12 MB hole can hold at most 8 MB of data (+4 MB guard).
+        let e = a.allocate(9 * MB).unwrap();
+        assert_eq!(e.offset, 20 * MB, "9 MB must be appended, not inserted");
+        let e = a.allocate(8 * MB).unwrap();
+        assert_eq!(e.offset, 0, "8 MB fits the hole per Eq. 1");
+    }
+
+    #[test]
+    fn split_returns_remainder() {
+        let mut a = alloc();
+        let s1 = a.allocate(40 * MB).unwrap();
+        let _tail = a.allocate(8 * MB).unwrap();
+        a.free(s1);
+        // Insert 12 MB: uses 12 + 4 guard, leaving 24 MB in the pool.
+        let e = a.allocate(12 * MB).unwrap();
+        assert_eq!(e.offset, 0);
+        assert_eq!(a.free_pool_bytes(), 24 * MB);
+        let regions = a.free_regions();
+        assert_eq!(regions, vec![Extent::new(16 * MB, 24 * MB)]);
+    }
+
+    #[test]
+    fn figure7_scenario() {
+        // Reproduces the §III-C walkthrough (Fig. 7), guard = 4 MB.
+        let mut a = alloc();
+        // (1) Three sets appended.
+        let set1 = a.allocate(24 * MB).unwrap();
+        let set2 = a.allocate(20 * MB).unwrap();
+        let set3 = a.allocate(16 * MB).unwrap();
+        assert_eq!(set2.offset, 24 * MB);
+        // (2) set1 compacts: deleted, the regenerated set1' (28 MB, too
+        // large for the 24 MB hole per Eq. 1) is appended.
+        a.free(set1);
+        let set1p = a.allocate(28 * MB).unwrap();
+        assert_eq!(set1p.offset, 60 * MB, "appended at the frontier");
+        // (3) set4 (12 MB) inserts into set1's old 24 MB hole: 12 data +
+        // 4 guard, 8 MB remainder returned to the free list (split).
+        let set4 = a.allocate(12 * MB).unwrap();
+        assert_eq!(set4.offset, 0);
+        assert_eq!(a.free_regions(), vec![Extent::new(16 * MB, 8 * MB)]);
+        // (4) set5 (4 MB) exactly fits the remainder (4 data + 4 guard);
+        // only one gap is needed to avoid overlapping set2.
+        let set5 = a.allocate(4 * MB).unwrap();
+        assert_eq!(set5.offset, 16 * MB);
+        assert!(a.free_regions().is_empty());
+        // (5) deleting set2 and set3 coalesces their adjacent holes into
+        // one larger free region.
+        a.free(set3);
+        a.free(set2);
+        assert_eq!(a.free_regions(), vec![Extent::new(24 * MB, 36 * MB)]);
+    }
+
+    #[test]
+    fn bands_snapshot_counts_members() {
+        let mut a = alloc();
+        let s1 = a.allocate(8 * MB).unwrap();
+        let _s2 = a.allocate(8 * MB).unwrap();
+        let _s3 = a.allocate(8 * MB).unwrap();
+        a.free(s1);
+        let bands = a.bands();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].0, Extent::new(8 * MB, 16 * MB));
+        assert_eq!(bands[0].1, 2);
+    }
+
+    #[test]
+    fn fragments_below_threshold() {
+        let mut a = alloc();
+        let s1 = a.allocate(6 * MB).unwrap();
+        let _s2 = a.allocate(8 * MB).unwrap();
+        a.free(s1);
+        // 6 MB hole: too small for anything + guard beyond 2 MB.
+        assert_eq!(a.fragments(27 * MB).len(), 1);
+        assert_eq!(a.fragments(6 * MB).len(), 0);
+    }
+
+    #[test]
+    fn out_of_space() {
+        let mut a = DynamicBandAlloc::new(10 * MB, SST, SST);
+        a.allocate(8 * MB).unwrap();
+        let err = a.allocate(4 * MB).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfSpace { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown extent")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let e = a.allocate(8 * MB).unwrap();
+        a.free(e);
+        a.free(e);
+    }
+}

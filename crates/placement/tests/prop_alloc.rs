@@ -1,0 +1,152 @@
+//! Property tests for the allocators, including the central safety claim
+//! of the paper's dynamic band management: driving a raw HM-SMR disk
+//! through `DynamicBandAlloc` never violates the shingle contract —
+//! "subsequent valid data will not be overlapped and no auxiliary write
+//! amplification is caused".
+
+use placement::{Allocator, DynamicBandAlloc, Ext4Sim, FixedBandAlloc};
+use proptest::prelude::*;
+use smr_sim::{Disk, Extent, IoKind, Layout, TimeModel};
+
+const MB: u64 = 1 << 20;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate a region of (units * quarter-SSTable) bytes.
+    Alloc(u64),
+    /// Free the i-th live allocation (mod live count).
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1..24u64).prop_map(Op::Alloc),
+            (0..64usize).prop_map(Op::Free),
+        ],
+        1..80,
+    )
+}
+
+/// Drives an allocator with a random op sequence; returns live extents.
+fn drive(alloc: &mut dyn Allocator, ops: &[Op], unit: u64) -> Vec<Extent> {
+    let mut live: Vec<Extent> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc(units) => {
+                if let Ok(ext) = alloc.allocate(units * unit) {
+                    live.push(ext);
+                }
+            }
+            Op::Free(i) => {
+                if !live.is_empty() {
+                    let ext = live.remove(i % live.len());
+                    alloc.free(ext);
+                }
+            }
+        }
+    }
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dynamic band management never faults the raw SMR disk: every write
+    /// into a freshly allocated region (and the Eq. 1 guard policy) keeps
+    /// valid data intact, and data reads back exactly.
+    #[test]
+    fn dynamic_band_never_faults_raw_smr(ops in ops()) {
+        let sst = 4 * MB;
+        let cap = 4096 * MB;
+        let mut alloc = DynamicBandAlloc::new(cap, sst, sst);
+        let mut disk = Disk::new(cap, Layout::RawHmSmr { guard_bytes: sst }, TimeModel::smr_st5000as0011(cap));
+        let mut live: Vec<(Extent, u8)> = Vec::new();
+        let mut stamp = 0u8;
+        for op in &ops {
+            match op {
+                Op::Alloc(units) => {
+                    let size = units * MB / 4;
+                    let Ok(ext) = alloc.allocate(size) else { continue };
+                    stamp = stamp.wrapping_add(1);
+                    let data = vec![stamp; ext.len as usize];
+                    // The allocator's contract: this write must be legal.
+                    disk.write(ext, &data, IoKind::Raw).unwrap();
+                    live.push((ext, stamp));
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (ext, _) = live.remove(i % live.len());
+                        disk.invalidate(ext);
+                        alloc.free(ext);
+                    }
+                }
+            }
+        }
+        // All live regions still read back with their fill byte.
+        for (ext, fill) in live {
+            let back = disk.read(ext, IoKind::Raw).unwrap();
+            prop_assert!(back.iter().all(|&b| b == fill));
+        }
+        // Raw layout means zero auxiliary write amplification.
+        let c = disk.stats().kind(IoKind::Raw);
+        prop_assert_eq!(c.device_written, c.logical_written);
+    }
+
+    /// No allocator ever hands out overlapping live extents, and byte
+    /// accounting stays exact.
+    #[test]
+    fn allocators_never_overlap(ops in ops()) {
+        let unit = MB;
+        let cap = 4096 * MB;
+        let mut allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(DynamicBandAlloc::new(cap, 4 * MB, 4 * MB)),
+            Box::new(Ext4Sim::new(cap, 128 * MB)),
+            Box::new(FixedBandAlloc::new(cap, 40 * MB)),
+        ];
+        for alloc in &mut allocators {
+            let live = drive(alloc.as_mut(), &ops, unit);
+            let mut sorted = live.clone();
+            sorted.sort();
+            for pair in sorted.windows(2) {
+                prop_assert!(
+                    pair[0].end() <= pair[1].offset,
+                    "{} produced overlapping extents {:?} {:?}",
+                    alloc.name(), pair[0], pair[1]
+                );
+            }
+            let total: u64 = live.iter().map(|e| e.len).sum();
+            prop_assert_eq!(alloc.allocated_bytes(), total, "{} accounting", alloc.name());
+            for e in &live {
+                prop_assert!(e.end() <= alloc.high_water());
+            }
+        }
+    }
+
+    /// Dynamic-band free-pool conservation: allocated + pool + untouched
+    /// residual space never exceeds capacity, and freeing everything
+    /// returns every recycled byte to the pool.
+    #[test]
+    fn dynamic_band_conservation(ops in ops()) {
+        let sst = 4 * MB;
+        let cap = 4096 * MB;
+        let mut alloc = DynamicBandAlloc::new(cap, sst, sst);
+        let live = drive(&mut alloc, &ops, MB);
+        prop_assert!(alloc.frontier() <= cap);
+        // Everything inside the banded region is either live data,
+        // reserved guard bytes, or pool free space.
+        prop_assert!(alloc.allocated_bytes() + alloc.free_pool_bytes() <= alloc.frontier());
+        let frontier = alloc.frontier();
+        for e in live {
+            alloc.free(e);
+        }
+        prop_assert_eq!(alloc.allocated_bytes(), 0);
+        // With nothing live, the whole banded region is one coalesced
+        // free run (guards were recycled with their owners).
+        if frontier > 0 {
+            let regions = alloc.free_regions();
+            prop_assert_eq!(regions.len(), 1);
+            prop_assert_eq!(regions[0], Extent::new(0, frontier));
+        }
+    }
+}

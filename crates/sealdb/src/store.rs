@@ -1,0 +1,172 @@
+//! The store facade: a configured [`DbCore`] plus snapshotting of every
+//! quantity the paper's figures report.
+
+use crate::config::StoreKind;
+use lsm_core::{CompactionRecord, DbCore, Result, SetStats};
+use smr_sim::{Extent, IoStats, TraceEvent};
+
+/// One of the paper's key-value stores, ready for workloads.
+pub struct Store {
+    /// Which system this is.
+    pub kind: StoreKind,
+    /// The underlying engine.
+    pub db: DbCore,
+}
+
+/// Snapshot of everything the figures need.
+#[derive(Clone, Debug)]
+pub struct StoreSnapshot {
+    /// Display name of the store.
+    pub name: &'static str,
+    /// Simulated time elapsed, ns.
+    pub clock_ns: u64,
+    /// Full I/O accounting (WA / AWA / MWA per Table I).
+    pub io: IoStats,
+    /// Per-compaction details (Fig. 10).
+    pub compactions: Vec<CompactionRecord>,
+    /// Set statistics when the store groups files into sets.
+    pub set_stats: Option<SetStats>,
+    /// Used disk span (allocator high water).
+    pub high_water: u64,
+    /// Bytes currently allocated to live files.
+    pub allocated_bytes: u64,
+    /// Recyclable free regions (Fig. 13 fragments input).
+    pub free_regions: Vec<Extent>,
+    /// Dynamic bands, when the allocator tracks them (Fig. 13).
+    pub bands: Vec<(Extent, usize)>,
+    /// Memtable flush count.
+    pub flushes: u64,
+}
+
+impl StoreSnapshot {
+    /// Compactions that actually rewrote data (non-trivial).
+    pub fn real_compactions(&self) -> impl Iterator<Item = &CompactionRecord> {
+        self.compactions.iter().filter(|c| !c.trivial_move)
+    }
+
+    /// Average compaction output size in bytes (Fig. 10(b)).
+    pub fn avg_compaction_bytes(&self) -> f64 {
+        let (n, total) = self
+            .real_compactions()
+            .fold((0u64, 0u64), |(n, t), c| (n + 1, t + c.output_bytes));
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// Total simulated compaction latency, ns (Fig. 10(a) aggregate).
+    pub fn total_compaction_ns(&self) -> u64 {
+        self.compactions.iter().map(|c| c.duration_ns).sum()
+    }
+}
+
+impl Store {
+    /// Inserts a key/value pair.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.db.put(key, value)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.db.get(key)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.db.delete(key)
+    }
+
+    /// Range scan of up to `limit` entries from `start`.
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.db.scan(start, limit)
+    }
+
+    /// Flushes the memtable and quiesces compactions.
+    pub fn flush(&mut self) -> Result<()> {
+        self.db.flush()
+    }
+
+    /// Pins the current state for consistent reads (see
+    /// [`DbCore::snapshot`]).
+    pub fn pin(&mut self) -> lsm_core::Snapshot {
+        self.db.snapshot()
+    }
+
+    /// Reads as of a pinned state.
+    pub fn get_at(&mut self, key: &[u8], snap: &lsm_core::Snapshot) -> Result<Option<Vec<u8>>> {
+        self.db.get_at(key, snap)
+    }
+
+    /// Releases a pinned state.
+    pub fn unpin(&mut self, snap: lsm_core::Snapshot) {
+        self.db.release_snapshot(snap)
+    }
+
+    /// Runs fragment garbage collection (the paper's stated future work):
+    /// relocates nearly-faded sets adjacent to fragments so free space
+    /// coalesces. Meaningful for set-based stores; others report zeros.
+    pub fn collect_garbage(&mut self, cfg: &lsm_core::GcConfig) -> Result<lsm_core::GcReport> {
+        self.db.collect_garbage(cfg)
+    }
+
+    /// Simulates a crash + restart: rebuilds the version set from the
+    /// manifest and replays the WAL (buffered, unsynced WAL bytes are
+    /// lost, like a real `sync=false` LevelDB).
+    pub fn reopen(self) -> Result<Store> {
+        Ok(Store {
+            kind: self.kind,
+            db: self.db.reopen()?,
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Simulated clock, ns.
+    pub fn clock_ns(&self) -> u64 {
+        self.db.clock_ns()
+    }
+
+    /// Enables or disables physical-placement tracing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .trace_mut()
+            .set_enabled(enabled);
+    }
+
+    /// Drains recorded trace events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let ctx = self.db.ctx();
+        let mut guard = ctx.lock();
+        let events = guard.fs.disk().trace().events().to_vec();
+        guard.fs.disk_mut().trace_mut().clear();
+        events
+    }
+
+    /// Snapshots every reported quantity.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let ctx = self.db.ctx();
+        let guard = ctx.lock();
+        let policy = self.db.policy();
+        StoreSnapshot {
+            name: self.kind.name(),
+            clock_ns: guard.fs.disk().clock_ns(),
+            io: guard.fs.disk().stats().clone(),
+            compactions: self.db.compaction_log().to_vec(),
+            set_stats: policy.set_stats(),
+            high_water: policy.allocator().high_water(),
+            allocated_bytes: policy.allocator().allocated_bytes(),
+            free_regions: policy.allocator().free_regions(),
+            bands: policy.allocator().band_snapshot(),
+            flushes: self.db.flush_count(),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for disk operations.
+
+use crate::extent::Extent;
+use std::fmt;
+
+/// Errors raised by the simulated disk.
+///
+/// A correct SMR-aware client (such as SEALDB's dynamic band manager) must
+/// never trigger `WouldOverlapValid` / `GuardViolation`; the simulator treats
+/// them as faults rather than silently corrupting data, so that tests can
+/// assert the host honours the Caveat-Scriptor contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// Access extends past the end of the disk.
+    OutOfRange { ext: Extent, capacity: u64 },
+    /// A raw-SMR write would overwrite bytes currently holding valid data.
+    WouldOverlapValid { ext: Extent, valid: Extent },
+    /// A raw-SMR write's shingle-direction damage window would destroy
+    /// valid data (the host failed to reserve a guard region).
+    GuardViolation { ext: Extent, damaged: Extent },
+    /// A read touched bytes that were never written (or were invalidated).
+    ReadUnwritten { ext: Extent },
+    /// Injected failure (fault-injection testing).
+    Injected,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfRange { ext, capacity } => {
+                write!(f, "access {ext:?} out of range (capacity {capacity})")
+            }
+            DiskError::WouldOverlapValid { ext, valid } => {
+                write!(f, "write {ext:?} would overwrite valid data at {valid:?}")
+            }
+            DiskError::GuardViolation { ext, damaged } => write!(
+                f,
+                "write {ext:?} damages valid data at {damaged:?} in the shingle direction"
+            ),
+            DiskError::ReadUnwritten { ext } => {
+                write!(f, "read {ext:?} touches unwritten bytes")
+            }
+            DiskError::Injected => write!(f, "injected write failure"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Convenient result alias for disk operations.
+pub type DiskResult<T> = Result<T, DiskError>;

@@ -1,0 +1,269 @@
+//! I/O accounting: the paper's Table I quantities.
+//!
+//! * `WA`  — write amplification of the LSM-tree: bytes written by flushes
+//!   and compactions divided by user payload bytes.
+//! * `AWA` — auxiliary write amplification of the SMR drive: bytes the
+//!   device physically wrote divided by the bytes the host asked it to
+//!   write (read-modify-write overhead).
+//! * `MWA = WA × AWA` — multiplicative overall write amplification:
+//!   device bytes written per user payload byte.
+
+use std::fmt;
+
+/// Classification of each host I/O, used to attribute bytes to the right
+/// numerator/denominator of the amplification ratios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Write-ahead-log append.
+    Wal,
+    /// Memtable flush writing an L0 table.
+    Flush,
+    /// Compaction input read.
+    CompactionRead,
+    /// Compaction output write.
+    CompactionWrite,
+    /// Point-lookup read.
+    Get,
+    /// Range-scan read.
+    Scan,
+    /// Metadata (manifest, footers read at open, ...).
+    Meta,
+    /// Anything else (raw device micro-benchmarks).
+    Raw,
+    /// Garbage-collection relocation traffic (set migration).
+    Gc,
+}
+
+impl IoKind {
+    /// All variants, for iteration in reports.
+    pub const ALL: [IoKind; 9] = [
+        IoKind::Wal,
+        IoKind::Flush,
+        IoKind::CompactionRead,
+        IoKind::CompactionWrite,
+        IoKind::Get,
+        IoKind::Scan,
+        IoKind::Meta,
+        IoKind::Raw,
+        IoKind::Gc,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            IoKind::Wal => 0,
+            IoKind::Flush => 1,
+            IoKind::CompactionRead => 2,
+            IoKind::CompactionWrite => 3,
+            IoKind::Get => 4,
+            IoKind::Scan => 5,
+            IoKind::Meta => 6,
+            IoKind::Raw => 7,
+            IoKind::Gc => 8,
+        }
+    }
+}
+
+/// Per-kind byte and operation counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct KindCounters {
+    /// Bytes the host requested to read.
+    pub logical_read: u64,
+    /// Bytes the host requested to write.
+    pub logical_written: u64,
+    /// Bytes the device physically read (includes RMW prefix reads).
+    pub device_read: u64,
+    /// Bytes the device physically wrote (includes RMW rewrites).
+    pub device_written: u64,
+    /// Host operations issued.
+    pub ops: u64,
+    /// Simulated time spent servicing this kind, ns.
+    pub time_ns: u64,
+}
+
+/// Aggregated I/O statistics for one disk.
+#[derive(Clone, Default, Debug)]
+pub struct IoStats {
+    by_kind: [KindCounters; 9],
+    /// User payload bytes (key+value sizes of successful puts), reported by
+    /// the KV store on top — the denominator of WA and MWA.
+    pub user_payload: u64,
+    /// Number of accesses that required a mechanical seek.
+    pub seeks: u64,
+    /// Number of band read-modify-write events (fixed-band layout only).
+    pub band_rmw_events: u64,
+}
+
+impl IoStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a host read.
+    pub fn record_read(&mut self, kind: IoKind, logical: u64, device: u64, time_ns: u64) {
+        let c = &mut self.by_kind[kind.index()];
+        c.logical_read += logical;
+        c.device_read += device;
+        c.ops += 1;
+        c.time_ns += time_ns;
+    }
+
+    /// Records a host write; `device` includes any RMW rewrite bytes.
+    pub fn record_write(&mut self, kind: IoKind, logical: u64, device: u64, time_ns: u64) {
+        let c = &mut self.by_kind[kind.index()];
+        c.logical_written += logical;
+        c.device_written += device;
+        c.ops += 1;
+        c.time_ns += time_ns;
+    }
+
+    /// Adds extra device-side read bytes (RMW prefix reads) to a kind.
+    pub fn record_device_read_overhead(&mut self, kind: IoKind, bytes: u64) {
+        self.by_kind[kind.index()].device_read += bytes;
+    }
+
+    /// Counters for one kind.
+    pub fn kind(&self, kind: IoKind) -> KindCounters {
+        self.by_kind[kind.index()]
+    }
+
+    /// Total bytes the host asked to write, all kinds.
+    pub fn logical_written_total(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.logical_written).sum()
+    }
+
+    /// Total bytes the host asked to read, all kinds.
+    pub fn logical_read_total(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.logical_read).sum()
+    }
+
+    /// Total bytes the device physically wrote, all kinds.
+    pub fn device_written_total(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.device_written).sum()
+    }
+
+    /// Total bytes the device physically read, all kinds.
+    pub fn device_read_total(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.device_read).sum()
+    }
+
+    /// Bytes written by the LSM-tree itself (flush + compaction outputs):
+    /// the numerator of WA.
+    pub fn lsm_written(&self) -> u64 {
+        self.kind(IoKind::Flush).logical_written + self.kind(IoKind::CompactionWrite).logical_written
+    }
+
+    /// Device bytes attributable to flush + compaction writes (including
+    /// their RMW overhead): the numerator of AWA restricted to LSM traffic.
+    pub fn lsm_device_written(&self) -> u64 {
+        self.kind(IoKind::Flush).device_written + self.kind(IoKind::CompactionWrite).device_written
+    }
+
+    /// Write amplification of the LSM-tree (Table I: `WA`).
+    pub fn wa(&self) -> f64 {
+        ratio(self.lsm_written(), self.user_payload)
+    }
+
+    /// Auxiliary write amplification of the SMR drive (Table I: `AWA`),
+    /// computed over LSM traffic as in the paper.
+    pub fn awa(&self) -> f64 {
+        ratio(self.lsm_device_written(), self.lsm_written())
+    }
+
+    /// Multiplicative overall write amplification (Table I: `MWA`).
+    pub fn mwa(&self) -> f64 {
+        ratio(self.lsm_device_written(), self.user_payload)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "kind", "log.read", "log.write", "dev.read", "dev.write", "ops"
+        )?;
+        for kind in IoKind::ALL {
+            let c = self.kind(kind);
+            if c.ops == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8}",
+                format!("{kind:?}"),
+                c.logical_read,
+                c.logical_written,
+                c.device_read,
+                c.device_written,
+                c.ops
+            )?;
+        }
+        writeln!(
+            f,
+            "user payload {}  WA {:.2}  AWA {:.2}  MWA {:.2}  seeks {}  band RMW {}",
+            self.user_payload,
+            self.wa(),
+            self.awa(),
+            self.mwa(),
+            self.seeks,
+            self.band_rmw_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_math() {
+        let mut s = IoStats::new();
+        s.user_payload = 100;
+        // Flush writes 100 logical / 100 device.
+        s.record_write(IoKind::Flush, 100, 100, 1);
+        // Compaction writes 900 logical, device amplifies to 4500.
+        s.record_write(IoKind::CompactionWrite, 900, 4500, 1);
+        assert!((s.wa() - 10.0).abs() < 1e-9);
+        assert!((s.awa() - 4.6).abs() < 1e-9);
+        assert!((s.mwa() - 46.0).abs() < 1e-9);
+        // MWA == WA * AWA by construction.
+        assert!((s.mwa() - s.wa() * s.awa()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wal_not_counted_in_wa() {
+        let mut s = IoStats::new();
+        s.user_payload = 100;
+        s.record_write(IoKind::Wal, 120, 120, 1);
+        s.record_write(IoKind::Flush, 100, 100, 1);
+        assert!((s.wa() - 1.0).abs() < 1e-9);
+        assert_eq!(s.logical_written_total(), 220);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let s = IoStats::new();
+        assert_eq!(s.wa(), 0.0);
+        assert_eq!(s.awa(), 0.0);
+        assert_eq!(s.mwa(), 0.0);
+    }
+
+    #[test]
+    fn per_kind_attribution() {
+        let mut s = IoStats::new();
+        s.record_read(IoKind::Get, 4096, 4096, 15_000_000);
+        s.record_read(IoKind::CompactionRead, 1 << 20, 1 << 20, 6_000_000);
+        assert_eq!(s.kind(IoKind::Get).ops, 1);
+        assert_eq!(s.kind(IoKind::Get).logical_read, 4096);
+        assert_eq!(s.logical_read_total(), 4096 + (1 << 20));
+    }
+}

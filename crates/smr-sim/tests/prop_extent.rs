@@ -1,0 +1,147 @@
+//! Property tests: ExtentSet vs a naive bitmap model, and raw-SMR safety.
+
+use proptest::prelude::*;
+use smr_sim::{Disk, DiskError, Extent, ExtentSet, IoKind, Layout, TimeModel};
+
+const UNIVERSE: u64 = 4096;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..UNIVERSE, 1..256u64).prop_map(|(o, l)| Op::Insert(o, l.min(UNIVERSE - o))),
+        (0..UNIVERSE, 1..256u64).prop_map(|(o, l)| Op::Remove(o, l.min(UNIVERSE - o))),
+    ]
+}
+
+proptest! {
+    /// ExtentSet agrees with a per-byte boolean model under arbitrary
+    /// insert/remove sequences, stays coalesced, and keeps its byte count
+    /// exact.
+    #[test]
+    fn extent_set_matches_bitmap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut set = ExtentSet::new();
+        let mut model = vec![false; UNIVERSE as usize];
+        for op in ops {
+            match op {
+                Op::Insert(o, l) => {
+                    set.insert(Extent::new(o, l));
+                    for b in &mut model[o as usize..(o + l) as usize] { *b = true; }
+                }
+                Op::Remove(o, l) => {
+                    set.remove(Extent::new(o, l));
+                    for b in &mut model[o as usize..(o + l) as usize] { *b = false; }
+                }
+            }
+        }
+        let expected: u64 = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(set.covered_bytes(), expected);
+        // Every stored extent must be fully set in the model, with clear
+        // bytes on both flanks (i.e. the set is maximally coalesced).
+        let mut prev_end = None;
+        for e in set.iter() {
+            for i in e.offset..e.end() {
+                prop_assert!(model[i as usize]);
+            }
+            if e.offset > 0 {
+                prop_assert!(!model[(e.offset - 1) as usize]);
+            }
+            if e.end() < UNIVERSE {
+                prop_assert!(!model[e.end() as usize]);
+            }
+            if let Some(p) = prev_end {
+                prop_assert!(e.offset > p);
+            }
+            prev_end = Some(e.end());
+        }
+        // Spot-check point queries.
+        for pos in [0u64, 1, UNIVERSE / 2, UNIVERSE - 1] {
+            prop_assert_eq!(set.containing(pos).is_some(), model[pos as usize]);
+        }
+    }
+
+    /// On the raw HM-SMR layout, any sequence of writes and frees either
+    /// faults or leaves every valid byte readable with its exact contents:
+    /// the simulator never silently corrupts valid data.
+    #[test]
+    fn raw_smr_never_corrupts(writes in proptest::collection::vec((0..64u64, 1..8u64, 0..4u8), 1..60)) {
+        const BLK: u64 = 1 << 12;
+        let guard = 2 * BLK;
+        let cap = 80 * BLK;
+        let mut disk = Disk::new(cap, Layout::RawHmSmr { guard_bytes: guard }, TimeModel::smr_st5000as0011(cap));
+        // Shadow of what is currently valid: offset -> (len, fill byte).
+        let mut shadow: Vec<(u64, u64, u8)> = Vec::new();
+        for (blk, len_blks, action) in writes {
+            let off = blk * BLK;
+            let len = (len_blks * BLK).min(cap - off);
+            if action == 0 && !shadow.is_empty() {
+                // Free a random-ish region.
+                let idx = (blk as usize) % shadow.len();
+                let (o, l, _) = shadow.remove(idx);
+                disk.invalidate(Extent::new(o, l));
+                continue;
+            }
+            let fill = action.wrapping_mul(37).wrapping_add(blk as u8);
+            let data = vec![fill; len as usize];
+            match disk.write(Extent::new(off, len), &data, IoKind::Raw) {
+                Ok(()) => {
+                    // Must not overlap any shadow entry (the disk enforced it).
+                    for &(o, l, _) in &shadow {
+                        prop_assert!(!Extent::new(off, len).overlaps(&Extent::new(o, l)));
+                    }
+                    shadow.push((off, len, fill));
+                }
+                Err(DiskError::WouldOverlapValid { .. }) | Err(DiskError::GuardViolation { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        // All surviving shadow regions read back exactly.
+        for (o, l, fill) in shadow {
+            let back = disk.read(Extent::new(o, l), IoKind::Raw).unwrap();
+            prop_assert!(back.iter().all(|&b| b == fill));
+        }
+    }
+
+    /// Fixed-band accounting invariant: device-written bytes are always >=
+    /// logical bytes, and with strictly appending writes they are equal.
+    #[test]
+    fn fixed_band_device_at_least_logical(writes in proptest::collection::vec((0..32u64, 1..4u64), 1..40)) {
+        const BLK: u64 = 1 << 12;
+        let cap = 64 * BLK;
+        let mut disk = Disk::new(cap, Layout::FixedBand { band_size: 8 * BLK }, TimeModel::smr_st5000as0011(cap));
+        for (blk, len_blks) in writes {
+            let off = blk * BLK;
+            let len = (len_blks * BLK).min(cap - off);
+            let data = vec![0xABu8; len as usize];
+            disk.write(Extent::new(off, len), &data, IoKind::Raw).unwrap();
+        }
+        let c = disk.stats().kind(IoKind::Raw);
+        prop_assert!(c.device_written >= c.logical_written);
+    }
+}
+
+#[test]
+fn fixed_band_pure_append_has_awa_one() {
+    const BLK: u64 = 1 << 12;
+    let cap = 64 * BLK;
+    let mut disk = Disk::new(
+        cap,
+        Layout::FixedBand { band_size: 8 * BLK },
+        TimeModel::smr_st5000as0011(cap),
+    );
+    for i in 0..32u64 {
+        disk.write(
+            Extent::new(i * BLK, BLK),
+            &vec![1u8; BLK as usize],
+            IoKind::Flush,
+        )
+        .unwrap();
+    }
+    let c = disk.stats().kind(IoKind::Flush);
+    assert_eq!(c.device_written, c.logical_written);
+    assert_eq!(disk.stats().band_rmw_events, 0);
+}

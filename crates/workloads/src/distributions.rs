@@ -1,0 +1,252 @@
+//! Request distributions, following the YCSB core generators: uniform,
+//! zipfian (Gray et al.'s "Quickly generating billion-record synthetic
+//! databases" method, constant 0.99), scrambled zipfian, and latest.
+
+use lsm_core::util::rng::XorShift64;
+
+/// YCSB's default zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// A generator of item indices in `[0, n)`.
+pub trait Distribution {
+    /// Next item index; `n_now` is the current item count (the latest
+    /// and insert-following distributions track growing keyspaces).
+    fn next(&mut self, rng: &mut XorShift64, n_now: u64) -> u64;
+}
+
+/// Uniform over `[0, n)`.
+#[derive(Clone, Debug, Default)]
+pub struct Uniform;
+
+impl Distribution for Uniform {
+    fn next(&mut self, rng: &mut XorShift64, n_now: u64) -> u64 {
+        rng.next_below(n_now.max(1))
+    }
+}
+
+fn uniform_f64(rng: &mut XorShift64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Zipfian over `[0, n)`: item 0 is the most popular.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    zeta2: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// Creates a zipfian generator over `n` items.
+    pub fn new(n: u64) -> Self {
+        let theta = ZIPFIAN_CONSTANT;
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            zeta2,
+            eta,
+        }
+    }
+
+    fn sample(&self, rng: &mut XorShift64) -> u64 {
+        let u = uniform_f64(rng);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn item_count(&self) -> u64 {
+        self.n
+    }
+
+    /// The zeta(2)/zeta(n) pair (exposed for testing).
+    pub fn zetas(&self) -> (f64, f64) {
+        (self.zeta2, self.zetan)
+    }
+}
+
+impl Distribution for Zipfian {
+    fn next(&mut self, rng: &mut XorShift64, _n_now: u64) -> u64 {
+        self.sample(rng)
+    }
+}
+
+/// Zipfian popularity spread over the keyspace by hashing (YCSB's
+/// `ScrambledZipfianGenerator`): hot items are scattered, not clustered.
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+fn fnv1a64(mut x: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for _ in 0..8 {
+        h ^= x & 0xFF;
+        h = h.wrapping_mul(0x100000001b3);
+        x >>= 8;
+    }
+    h
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled zipfian over `n` items.
+    pub fn new(n: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n),
+        }
+    }
+}
+
+impl Distribution for ScrambledZipfian {
+    fn next(&mut self, rng: &mut XorShift64, n_now: u64) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv1a64(rank) % n_now.max(1)
+    }
+}
+
+/// YCSB's latest distribution: recently inserted items are the hottest
+/// (used by workload D).
+#[derive(Clone, Debug)]
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// Creates a latest-skewed generator sized for up to `n_max` items.
+    pub fn new(n_max: u64) -> Self {
+        Latest {
+            inner: Zipfian::new(n_max),
+        }
+    }
+}
+
+impl Distribution for Latest {
+    fn next(&mut self, rng: &mut XorShift64, n_now: u64) -> u64 {
+        let n = n_now.max(1);
+        let rank = self.inner.sample(rng) % n;
+        n - 1 - rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShift64 {
+        XorShift64::new(0xABCD)
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut d = Uniform;
+        let mut r = rng();
+        let n = 100;
+        let mut seen = vec![false; n as usize];
+        for _ in 0..10_000 {
+            let v = d.next(&mut r, n);
+            assert!(v < n);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let n = 10_000u64;
+        let mut d = Zipfian::new(n);
+        let mut r = rng();
+        let mut counts = vec![0u32; n as usize];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let v = d.next(&mut r, n);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        // Item 0 should receive roughly 1/zeta(n) of requests (~10%).
+        let p0 = counts[0] as f64 / trials as f64;
+        assert!((0.07..0.15).contains(&p0), "p0 = {p0}");
+        // Top 1% of items take the majority of traffic.
+        let hot: u32 = counts[..(n as usize / 100)].iter().sum();
+        assert!(hot as f64 / trials as f64 > 0.5);
+        // Monotone-ish decay: first item beats the 100th by a lot.
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let n = 10_000u64;
+        let mut d = ScrambledZipfian::new(n);
+        let mut r = rng();
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..100_000 {
+            counts[d.next(&mut r, n) as usize] += 1;
+        }
+        // Still skewed: some item is much hotter than the mean...
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 1000);
+        // ...but the hottest item is NOT item 0 (scrambling moved it)
+        // and hot items are not clustered at the front.
+        let front: u32 = counts[..100].iter().sum();
+        assert!((front as f64) < 100_000.0 * 0.5);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let n = 1000u64;
+        let mut d = Latest::new(n);
+        let mut r = rng();
+        let mut newest = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let v = d.next(&mut r, n);
+            assert!(v < n);
+            if v >= n - 10 {
+                newest += 1;
+            }
+        }
+        // The newest 1% of items get far more than 1% of requests.
+        assert!(newest as f64 / trials as f64 > 0.1);
+    }
+
+    #[test]
+    fn latest_tracks_growing_keyspace() {
+        let mut d = Latest::new(1000);
+        let mut r = rng();
+        for n_now in [1u64, 5, 100, 1000] {
+            for _ in 0..100 {
+                assert!(d.next(&mut r, n_now) < n_now);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Zipfian::new(1000);
+        let mut b = Zipfian::new(1000);
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..100 {
+            assert_eq!(a.next(&mut ra, 1000), b.next(&mut rb, 1000));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # workloads — benchmark drivers for the SEALDB reproduction
+//!
+//! The paper evaluates with (a) the micro-benchmarks distributed with
+//! LevelDB (`fillseq` / `fillrandom` / `readseq` / `readrandom`, §IV-A)
+//! and (b) the YCSB core workloads A–F (§IV-A, Fig. 9). This crate
+//! reproduces both against any [`sealdb::Store`], with throughput
+//! computed from the *simulated* disk clock so results are deterministic.
+
+pub mod distributions;
+pub mod generator;
+pub mod micro;
+pub mod ycsb;
+
+pub use distributions::{Distribution, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use generator::RecordGenerator;
+pub use micro::{fill_random, fill_seq, permute, read_random, read_seq, MicroResult};
+pub use ycsb::{run as run_ycsb, Dist, Mix, WorkloadSpec, YcsbResult};

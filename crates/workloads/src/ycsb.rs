@@ -1,0 +1,303 @@
+//! The YCSB core workloads (Cooper et al., SoCC'10) as used in the
+//! paper's Fig. 9:
+//!
+//! * **A** — 50% reads, 50% updates (zipfian)
+//! * **B** — 95% reads, 5% updates (zipfian)
+//! * **C** — 100% reads (zipfian)
+//! * **D** — 95% reads, 5% inserts; reads skew to the latest keys
+//! * **E** — 95% range scans, 5% inserts (zipfian start, uniform length)
+//! * **F** — 50% reads, 50% read-modify-writes (zipfian)
+
+use crate::distributions::{Distribution, Latest, ScrambledZipfian, Uniform};
+use crate::generator::RecordGenerator;
+use lsm_core::util::rng::XorShift64;
+use lsm_core::Result;
+use sealdb::Store;
+
+/// Operation mix of one workload (proportions must sum to 1).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Point-read proportion.
+    pub read: f64,
+    /// Update (overwrite existing key) proportion.
+    pub update: f64,
+    /// Insert (new key) proportion.
+    pub insert: f64,
+    /// Range-scan proportion.
+    pub scan: f64,
+    /// Read-modify-write proportion.
+    pub rmw: f64,
+}
+
+/// Request-distribution choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Uniform over existing keys.
+    Uniform,
+    /// Scrambled zipfian (YCSB default).
+    Zipfian,
+    /// Skewed towards recently inserted keys.
+    Latest,
+}
+
+/// One YCSB workload definition.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Workload tag ("A".."F").
+    pub name: &'static str,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key-choice distribution.
+    pub dist: Dist,
+    /// Maximum scan length (workload E; YCSB default 100).
+    pub max_scan_len: usize,
+}
+
+impl WorkloadSpec {
+    /// Workload A: update heavy (50/50).
+    pub fn a() -> Self {
+        WorkloadSpec {
+            name: "A",
+            mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload B: read mostly (95/5).
+    pub fn b() -> Self {
+        WorkloadSpec {
+            name: "B",
+            mix: Mix { read: 0.95, update: 0.05, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload C: read only.
+    pub fn c() -> Self {
+        WorkloadSpec {
+            name: "C",
+            mix: Mix { read: 1.0, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload D: read latest (95% reads, 5% inserts).
+    pub fn d() -> Self {
+        WorkloadSpec {
+            name: "D",
+            mix: Mix { read: 0.95, update: 0.0, insert: 0.05, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Latest,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload E: short ranges (95% scans, 5% inserts).
+    pub fn e() -> Self {
+        WorkloadSpec {
+            name: "E",
+            mix: Mix { read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, rmw: 0.0 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload F: read-modify-write (50/50).
+    pub fn f() -> Self {
+        WorkloadSpec {
+            name: "F",
+            mix: Mix { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.5 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// The six workloads of the paper's Fig. 9, in order.
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            Self::a(),
+            Self::b(),
+            Self::c(),
+            Self::d(),
+            Self::e(),
+            Self::f(),
+        ]
+    }
+}
+
+/// Result of one YCSB run.
+#[derive(Clone, Copy, Debug)]
+pub struct YcsbResult {
+    /// Operations executed.
+    pub ops: u64,
+    /// Simulated duration, ns.
+    pub sim_ns: u64,
+    /// Reads that found their key.
+    pub hits: u64,
+    /// Reads that missed (should stay 0 in our closed keyspace).
+    pub misses: u64,
+}
+
+impl YcsbResult {
+    /// Operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+}
+
+/// Executes `op_count` operations of `spec` against a store preloaded
+/// with `record_count` records.
+pub fn run(
+    store: &mut Store,
+    gen: &RecordGenerator,
+    spec: &WorkloadSpec,
+    record_count: u64,
+    op_count: u64,
+    seed: u64,
+) -> Result<YcsbResult> {
+    let mut rng = XorShift64::new(seed);
+    let mut key_rng = XorShift64::new(seed ^ 0xDEADBEEF);
+    let mut n_now = record_count;
+    let mut dist: Box<dyn Distribution> = match spec.dist {
+        Dist::Uniform => Box::new(Uniform),
+        Dist::Zipfian => Box::new(ScrambledZipfian::new(record_count)),
+        Dist::Latest => Box::new(Latest::new(record_count * 2)),
+    };
+    let mut hits = 0;
+    let mut misses = 0;
+    let start = store.clock_ns();
+    for _ in 0..op_count {
+        let r = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let m = &spec.mix;
+        if r < m.read {
+            let k = gen.key(dist.next(&mut key_rng, n_now));
+            if store.get(&k)?.is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        } else if r < m.read + m.update {
+            let i = dist.next(&mut key_rng, n_now);
+            store.put(&gen.key(i), &gen.value(i))?;
+        } else if r < m.read + m.update + m.insert {
+            let i = n_now;
+            n_now += 1;
+            store.put(&gen.key(i), &gen.value(i))?;
+        } else if r < m.read + m.update + m.insert + m.scan {
+            let start_i = dist.next(&mut key_rng, n_now);
+            let len = 1 + (key_rng.next_below(spec.max_scan_len as u64) as usize);
+            store.scan(&gen.key(start_i), len)?;
+        } else {
+            // Read-modify-write.
+            let i = dist.next(&mut key_rng, n_now);
+            let k = gen.key(i);
+            if store.get(&k)?.is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            store.put(&k, &gen.value(i))?;
+        }
+    }
+    Ok(YcsbResult {
+        ops: op_count,
+        sim_ns: store.clock_ns() - start,
+        hits,
+        misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::fill_random;
+    use sealdb::{StoreConfig, StoreKind};
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for w in WorkloadSpec::all() {
+            let m = w.mix;
+            let sum = m.read + m.update + m.insert + m.scan + m.rmw;
+            assert!((sum - 1.0).abs() < 1e-9, "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn paper_mix_definitions() {
+        assert_eq!(WorkloadSpec::a().mix.read, 0.5);
+        assert_eq!(WorkloadSpec::b().mix.read, 0.95);
+        assert_eq!(WorkloadSpec::c().mix.read, 1.0);
+        assert_eq!(WorkloadSpec::d().dist, Dist::Latest);
+        assert_eq!(WorkloadSpec::e().mix.scan, 0.95);
+        assert_eq!(WorkloadSpec::f().mix.rmw, 0.5);
+    }
+
+    #[test]
+    fn all_workloads_execute_without_misses() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 1500;
+        for spec in WorkloadSpec::all() {
+            let mut store = StoreConfig::new(StoreKind::SealDb, 32 << 10, 1 << 30)
+                .build()
+                .unwrap();
+            fill_random(&mut store, &gen, n, 3).unwrap();
+            let res = run(&mut store, &gen, &spec, n, 300, 17).unwrap();
+            assert_eq!(res.ops, 300);
+            assert!(res.sim_ns > 0);
+            assert_eq!(res.misses, 0, "workload {} missed reads", spec.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod dist_plumbing_tests {
+    use super::*;
+    use crate::micro::fill_random;
+    use sealdb::{StoreConfig, StoreKind};
+
+    #[test]
+    fn uniform_distribution_workload_runs() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 800;
+        let mut store = StoreConfig::new(StoreKind::SealDb, 32 << 10, 1 << 30)
+            .build()
+            .unwrap();
+        fill_random(&mut store, &gen, n, 3).unwrap();
+        let spec = WorkloadSpec {
+            name: "uniform-a",
+            mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Uniform,
+            max_scan_len: 10,
+        };
+        let r = run(&mut store, &gen, &spec, n, 400, 5).unwrap();
+        assert_eq!(r.misses, 0);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 500;
+        let mut store = StoreConfig::new(StoreKind::SealDb, 32 << 10, 1 << 30)
+            .build()
+            .unwrap();
+        fill_random(&mut store, &gen, n, 3).unwrap();
+        let spec = WorkloadSpec::d(); // 5% inserts
+        run(&mut store, &gen, &spec, n, 1000, 7).unwrap();
+        // Some key beyond the initial load must now exist.
+        let mut extended = false;
+        for i in n..n + 60 {
+            if store.get(&gen.key(i)).unwrap().is_some() {
+                extended = true;
+                break;
+            }
+        }
+        assert!(extended, "workload D inserts new keys");
+    }
+}

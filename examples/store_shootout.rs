@@ -1,0 +1,38 @@
+//! Store shootout: the paper's four systems side by side on one random
+//! load — throughput, write amplification, compaction profile and disk
+//! layout in a single table (a condensed Fig. 8 + Fig. 10 + Fig. 12).
+//!
+//! Run with `cargo run --release --example store_shootout`.
+
+use sealdb::{StoreConfig, StoreKind};
+use workloads::{fill_random, RecordGenerator};
+
+fn main() -> lsm_core::Result<()> {
+    let records = 40_000u64;
+    let gen = RecordGenerator::new(16, 1024, 7);
+
+    println!(
+        "{:<14}{:>10}{:>8}{:>8}{:>9}{:>7}{:>12}{:>11}",
+        "store", "load op/s", "WA", "AWA", "MWA", "comps", "avg comp MB", "span MiB"
+    );
+    for kind in StoreKind::ALL {
+        let mut store = StoreConfig::new(kind, 256 << 10, 512 << 20).build()?;
+        let res = fill_random(&mut store, &gen, records, 42)?;
+        let snap = store.snapshot();
+        let real = snap.real_compactions().count();
+        println!(
+            "{:<14}{:>10.0}{:>8.2}{:>8.2}{:>9.2}{:>7}{:>12.2}{:>11.1}",
+            store.name(),
+            res.ops_per_sec(),
+            snap.io.wa(),
+            snap.io.awa(),
+            snap.io.mwa(),
+            real,
+            snap.avg_compaction_bytes() / (1u64 << 20) as f64,
+            snap.high_water as f64 / (1u64 << 20) as f64,
+        );
+    }
+    println!("\npaper: SEALDB loads 3.42x faster than LevelDB and 1.67x faster than SMRDB;");
+    println!("LevelDB multiplies WA by the band RMW factor (MWA ~52x), SEALDB eliminates AWA.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! YCSB tour: load a small database into each of the paper's stores and
+//! run the six core workloads, printing a Fig. 9-style table.
+//!
+//! Run with `cargo run --release --example ycsb_tour`.
+
+use sealdb::{StoreConfig, StoreKind};
+use workloads::{fill_random, run_ycsb, RecordGenerator, WorkloadSpec};
+
+fn main() -> lsm_core::Result<()> {
+    let records = 30_000u64;
+    let ops = 2_000u64;
+    let gen = RecordGenerator::new(16, 1024, 7);
+
+    println!(
+        "{:<14}{}",
+        "store",
+        WorkloadSpec::all()
+            .iter()
+            .map(|w| format!("{:>10}", format!("YCSB-{}", w.name)))
+            .collect::<String>()
+    );
+
+    let mut baselines: Vec<f64> = Vec::new();
+    for kind in StoreKind::MAIN {
+        let mut store = StoreConfig::new(kind, 256 << 10, 2 << 30).build()?;
+        fill_random(&mut store, &gen, records, 42)?;
+        let mut row = format!("{:<14}", store.name());
+        for (i, spec) in WorkloadSpec::all().into_iter().enumerate() {
+            let res = run_ycsb(&mut store, &gen, &spec, records, ops, 9)?;
+            assert_eq!(res.misses, 0, "workload {} lost keys", spec.name);
+            let ops_s = res.ops_per_sec();
+            if kind == StoreKind::LevelDb {
+                baselines.push(ops_s);
+                row.push_str(&format!("{ops_s:>10.0}"));
+            } else {
+                row.push_str(&format!("{:>9.2}x", ops_s / baselines[i]));
+            }
+        }
+        println!("{row}");
+    }
+    println!("\n(LevelDB row: ops per simulated second; other rows: speedup vs LevelDB)");
+    println!("paper Fig. 9: SEALDB leads every workload; gains are largest on write-heavy mixes");
+    Ok(())
+}

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Plot the CSV series produced by `seal-bench` into the paper's figures.
+
+Usage:
+    cargo run --release -p bench -- all --out results
+    python3 scripts/plot_results.py results [outdir]
+
+Requires matplotlib. Each figure mirrors the layout of the corresponding
+figure in the paper (IPDPS 2018).
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    sys.exit("matplotlib required: pip install matplotlib")
+
+STORES = ["LevelDB", "LevelDB+sets", "SMRDB", "SEALDB"]
+
+
+def read_csv(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def save(fig, outdir, name):
+    path = os.path.join(outdir, name)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def plot_layout(rows, outdir, name, title):
+    """Fig. 2 / Fig. 11: SSTable placement scatter per compaction."""
+    fig, ax = plt.subplots(figsize=(7, 4))
+    xs = [int(r["compaction"]) for r in rows]
+    ys = [float(r["offset_mb"]) for r in rows]
+    ax.scatter(xs, ys, s=2, alpha=0.4, linewidths=0)
+    ax.set_xlabel("compaction")
+    ax.set_ylabel("physical offset (MiB)")
+    ax.set_title(title)
+    save(fig, outdir, name)
+
+
+def plot_band_sweep(rows, outdir):
+    """Fig. 3: tables/bands per compaction and WA/MWA vs band size."""
+    fig, (a, b) = plt.subplots(1, 2, figsize=(9, 3.5))
+    x = [float(r["band_mb"]) for r in rows]
+    a.plot(x, [float(r["avg_sstables_per_compaction"]) for r in rows], "o-", label="SSTables")
+    a.plot(x, [float(r["avg_bands_per_compaction"]) for r in rows], "s-", label="bands")
+    a.set_xlabel("band size (MiB)")
+    a.set_ylabel("avg per compaction")
+    a.legend()
+    a.set_title("(a) SSTables and bands per compaction")
+    b.plot(x, [float(r["wa"]) for r in rows], "o-", label="WA")
+    b.plot(x, [float(r["mwa"]) for r in rows], "s-", label="MWA")
+    b.set_xlabel("band size (MiB)")
+    b.set_ylabel("amplification")
+    b.legend()
+    b.set_title("(b) WA and MWA")
+    save(fig, outdir, "fig03_band_sweep.png")
+
+
+def plot_micro(rows, outdir, name, title):
+    """Fig. 8 / Fig. 14: normalised micro-benchmark bars."""
+    phases = ["fillseq", "fillrandom", "readrandom", "readseq"]
+    data = defaultdict(dict)
+    for r in rows:
+        data[r["store"]][r["phase"]] = float(r["normalized_to_first"])
+    stores = [s for s in STORES if s in data]
+    fig, ax = plt.subplots(figsize=(8, 4))
+    width = 0.8 / len(stores)
+    for i, store in enumerate(stores):
+        xs = [j + i * width for j in range(len(phases))]
+        ys = [data[store].get(p, 0) for p in phases]
+        bars = ax.bar(xs, ys, width, label=store)
+        ax.bar_label(bars, fmt="%.2fx", fontsize=7)
+    ax.set_xticks([j + width * (len(stores) - 1) / 2 for j in range(len(phases))])
+    ax.set_xticklabels(phases)
+    ax.set_ylabel("throughput normalised to LevelDB")
+    ax.set_title(title)
+    ax.legend()
+    save(fig, outdir, name)
+
+
+def plot_ycsb(rows, outdir):
+    """Fig. 9: YCSB workloads."""
+    workloads = sorted({r["workload"] for r in rows})
+    data = defaultdict(dict)
+    for r in rows:
+        data[r["store"]][r["workload"]] = float(r["ops_per_sec"])
+    stores = [s for s in STORES if s in data]
+    fig, ax = plt.subplots(figsize=(8, 4))
+    width = 0.8 / len(stores)
+    for i, store in enumerate(stores):
+        xs = [j + i * width for j in range(len(workloads))]
+        ax.bar(xs, [data[store].get(w, 0) for w in workloads], width, label=store)
+    ax.set_xticks([j + width * (len(stores) - 1) / 2 for j in range(len(workloads))])
+    ax.set_xticklabels([f"YCSB-{w}" for w in workloads])
+    ax.set_ylabel("ops per simulated second")
+    ax.set_title("Fig. 9 — YCSB macro-benchmark")
+    ax.legend()
+    save(fig, outdir, "fig09_ycsb.png")
+
+
+def plot_compactions(rows, outdir):
+    """Fig. 10(a): per-compaction latency series."""
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for store in STORES:
+        series = [(int(r["compaction"]), float(r["latency_ms"])) for r in rows if r["store"] == store]
+        if series:
+            ax.plot(*zip(*series), ".", markersize=3, alpha=0.6, label=store)
+    ax.set_yscale("log")
+    ax.set_xlabel("compaction")
+    ax.set_ylabel("latency (ms, log)")
+    ax.set_title("Fig. 10(a) — compaction latency during random load")
+    ax.legend()
+    save(fig, outdir, "fig10_compactions.png")
+
+
+def plot_wa(rows, outdir):
+    """Fig. 12: WA/AWA/MWA bars."""
+    fig, ax = plt.subplots(figsize=(7, 4))
+    metrics = ["wa", "awa", "mwa"]
+    stores = [r["store"] for r in rows]
+    width = 0.8 / len(stores)
+    for i, r in enumerate(rows):
+        xs = [j + i * width for j in range(len(metrics))]
+        bars = ax.bar(xs, [float(r[m]) for m in metrics], width, label=r["store"])
+        ax.bar_label(bars, fmt="%.1f", fontsize=8)
+    ax.set_xticks([j + width * (len(stores) - 1) / 2 for j in range(len(metrics))])
+    ax.set_xticklabels([m.upper() for m in metrics])
+    ax.set_title("Fig. 12 — write amplification")
+    ax.legend()
+    save(fig, outdir, "fig12_write_amplification.png")
+
+
+def plot_bands(rows, outdir):
+    """Fig. 13: dynamic band layout."""
+    fig, ax = plt.subplots(figsize=(9, 2.5))
+    colors = {"band": "#2a6fb0", "fragment": "#d1402f", "free": "#bbbbbb"}
+    for r in rows:
+        ax.barh(
+            0,
+            float(r["len_mb"]),
+            left=float(r["offset_mb"]),
+            height=0.6,
+            color=colors.get(r["kind"], "#888888"),
+            edgecolor="white",
+            linewidth=0.2,
+        )
+    ax.set_yticks([])
+    ax.set_xlabel("physical offset (MiB)")
+    ax.set_title("Fig. 13 — dynamic bands (blue), fragments (red), large free (grey)")
+    save(fig, outdir, "fig13_dynamic_bands.png")
+
+
+def plot_hasmr(rows, outdir):
+    """HA-SMR latency series (bimodality)."""
+    fig, ax = plt.subplots(figsize=(8, 3.5))
+    xs = [int(r["op"]) for r in rows]
+    ys = [max(float(r["latency_ms"]), 1e-4) for r in rows]
+    ax.plot(xs, ys, ".", markersize=2, alpha=0.5)
+    ax.set_yscale("log")
+    ax.set_xlabel("operation")
+    ax.set_ylabel("latency (ms, log)")
+    ax.set_title("LevelDB on HA-SMR — cleaning stalls (paper §II-C)")
+    save(fig, outdir, "hasmr_latency_series.png")
+
+
+def main():
+    indir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else indir
+    os.makedirs(outdir, exist_ok=True)
+    plots = {
+        "fig02_leveldb_layout.csv": lambda r: plot_layout(
+            r, outdir, "fig02_leveldb_layout.png", "Fig. 2 — LevelDB SSTable placement per compaction"
+        ),
+        "fig03_band_sweep.csv": lambda r: plot_band_sweep(r, outdir),
+        "fig08_micro.csv": lambda r: plot_micro(r, outdir, "fig08_micro.png", "Fig. 8 — micro-benchmarks"),
+        "fig09_ycsb.csv": lambda r: plot_ycsb(r, outdir),
+        "fig10_compactions.csv": lambda r: plot_compactions(r, outdir),
+        "fig11_sealdb_layout.csv": lambda r: plot_layout(
+            r, outdir, "fig11_sealdb_layout.png", "Fig. 11 — SEALDB set placement per compaction"
+        ),
+        "fig12_write_amplification.csv": lambda r: plot_wa(r, outdir),
+        "fig13_dynamic_bands.csv": lambda r: plot_bands(r, outdir),
+        "fig14_contribution.csv": lambda r: plot_micro(
+            r, outdir, "fig14_contribution.png", "Fig. 14 — contribution of sets vs dynamic bands"
+        ),
+        "hasmr_latency_series.csv": lambda r: plot_hasmr(r, outdir),
+    }
+    for name, fn in plots.items():
+        path = os.path.join(indir, name)
+        if os.path.exists(path):
+            fn(read_csv(path))
+        else:
+            print(f"skip {name} (not found)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+//! Root integration-suite crate for the SEALDB reproduction; see README.md.

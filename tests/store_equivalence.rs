@@ -1,0 +1,100 @@
+//! Cross-store correctness: all four systems are the *same database*
+//! with different placement — so any operation sequence must produce
+//! identical observable results on every store, and must agree with an
+//! in-memory model (`BTreeMap`).
+
+use proptest::prelude::*;
+use sealdb::{StoreConfig, StoreKind};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..400u16, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+            1 => (0..400u16).prop_map(Op::Delete),
+            2 => (0..400u16).prop_map(Op::Get),
+            1 => (0..400u16, 1..20u8).prop_map(|(k, n)| Op::Scan(k, n)),
+        ],
+        1..200,
+    )
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("user{k:08}").into_bytes()
+}
+
+fn value(k: u16, v: u8) -> Vec<u8> {
+    let mut out = vec![v; 120];
+    out[..2].copy_from_slice(&k.to_le_bytes());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_stores_agree_with_model(ops in ops()) {
+        // Tiny tables force flushes and compactions inside the test.
+        let mut stores: Vec<_> = StoreKind::ALL
+            .iter()
+            .map(|&kind| {
+                StoreConfig::new(kind, 8 << 10, 256 << 20).build().expect("build")
+            })
+            .collect();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let (kb, vb) = (key(*k), value(*k, *v));
+                    for s in &mut stores {
+                        s.put(&kb, &vb).expect("put");
+                    }
+                    model.insert(kb, vb);
+                }
+                Op::Delete(k) => {
+                    let kb = key(*k);
+                    for s in &mut stores {
+                        s.delete(&kb).expect("delete");
+                    }
+                    model.remove(&kb);
+                }
+                Op::Get(k) => {
+                    let kb = key(*k);
+                    let expected = model.get(&kb).cloned();
+                    for s in &mut stores {
+                        let got = s.get(&kb).expect("get");
+                        prop_assert_eq!(&got, &expected, "{} get mismatch", s.name());
+                    }
+                }
+                Op::Scan(k, n) => {
+                    let kb = key(*k);
+                    let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(kb.clone()..)
+                        .take(*n as usize)
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    for s in &mut stores {
+                        let got = s.scan(&kb, *n as usize).expect("scan");
+                        prop_assert_eq!(&got, &expected, "{} scan mismatch", s.name());
+                    }
+                }
+            }
+        }
+        // Final full sweep after quiescing compactions.
+        for s in &mut stores {
+            s.flush().expect("flush");
+            let all = s.scan(b"", usize::MAX.min(1 << 20)).expect("full scan");
+            let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+            prop_assert_eq!(&all, &expected, "{} final state mismatch", s.name());
+        }
+    }
+}

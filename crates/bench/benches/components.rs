@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the core components (wall-clock
-//! performance of the library itself, not simulated time).
+//! Micro-benchmarks of the core components (wall-clock performance of
+//! the library itself, not simulated time).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{bench, bench_with_setup};
 use lsm_core::memtable::MemTable;
 use lsm_core::sstable::{scan_all, TableBuilder, TableOptions};
 use lsm_core::types::{make_internal_key, ValueType};
@@ -11,59 +11,51 @@ use lsm_core::util::rng::XorShift64;
 use placement::{Allocator, DynamicBandAlloc};
 use workloads::{Distribution, ScrambledZipfian};
 
-fn bench_crc32c(c: &mut Criterion) {
+fn bench_crc32c() {
     let data = vec![0xA5u8; 64 * 1024];
-    c.bench_function("crc32c/64KiB", |b| {
-        b.iter(|| crc32c::crc32c(std::hint::black_box(&data)))
-    });
+    bench("crc32c/64KiB", || crc32c::crc32c(std::hint::black_box(&data)));
 }
 
-fn bench_bloom(c: &mut Criterion) {
+fn bench_bloom() {
     let keys: Vec<Vec<u8>> = (0..10_000u32)
         .map(|i| format!("key{i:08}").into_bytes())
         .collect();
-    c.bench_function("bloom/build-10k", |b| {
-        b.iter(|| BloomFilter::build(std::hint::black_box(&keys), 10))
+    bench("bloom/build-10k", || {
+        BloomFilter::build(std::hint::black_box(&keys), 10)
     });
     let filter = BloomFilter::build(&keys, 10);
-    c.bench_function("bloom/query", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            filter.may_contain(format!("key{i:08}").as_bytes())
-        })
+    let mut i = 0u32;
+    bench("bloom/query", || {
+        i = i.wrapping_add(1);
+        filter.may_contain(format!("key{i:08}").as_bytes())
     });
 }
 
-fn bench_memtable(c: &mut Criterion) {
-    c.bench_function("memtable/insert-10k", |b| {
-        b.iter_batched(
-            || MemTable::new(42),
-            |mut m| {
-                for i in 0..10_000u64 {
-                    let k = format!("key{:012}", (i * 2654435761) % 10_000);
-                    m.add(i + 1, ValueType::Value, k.as_bytes(), b"value");
-                }
-                m
-            },
-            BatchSize::LargeInput,
-        )
-    });
+fn bench_memtable() {
+    bench_with_setup(
+        "memtable/insert-10k",
+        || MemTable::new(42),
+        |mut m| {
+            for i in 0..10_000u64 {
+                let k = format!("key{:012}", (i * 2654435761) % 10_000);
+                m.add(i + 1, ValueType::Value, k.as_bytes(), b"value");
+            }
+            m
+        },
+    );
     let mut mem = MemTable::new(42);
     for i in 0..10_000u64 {
         let k = format!("key{:012}", (i * 2654435761) % 10_000);
         mem.add(i + 1, ValueType::Value, k.as_bytes(), b"value");
     }
-    c.bench_function("memtable/get", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 7919) % 10_000;
-            mem.get(format!("key{i:012}").as_bytes(), u64::MAX >> 8)
-        })
+    let mut i = 0u64;
+    bench("memtable/get", || {
+        i = (i + 7919) % 10_000;
+        mem.get(format!("key{i:012}").as_bytes(), u64::MAX >> 8)
     });
 }
 
-fn bench_table(c: &mut Criterion) {
+fn bench_table() {
     let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..5000u64)
         .map(|i| {
             (
@@ -72,62 +64,56 @@ fn bench_table(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("table/build-5k", |b| {
-        b.iter(|| {
-            let mut t = TableBuilder::new(TableOptions::default());
-            for (k, v) in &entries {
-                t.add(k, v);
-            }
-            t.finish()
-        })
+    bench("table/build-5k", || {
+        let mut t = TableBuilder::new(TableOptions::default());
+        for (k, v) in &entries {
+            t.add(k, v);
+        }
+        t.finish()
     });
     let mut t = TableBuilder::new(TableOptions::default());
     for (k, v) in &entries {
         t.add(k, v);
     }
     let data = t.finish();
-    c.bench_function("table/scan_all-5k", |b| {
-        b.iter(|| scan_all(std::hint::black_box(&data)).unwrap())
+    bench("table/scan_all-5k", || {
+        scan_all(std::hint::black_box(&data)).unwrap()
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("dynamic-band/alloc-free-churn", |b| {
-        b.iter_batched(
-            || DynamicBandAlloc::new(1 << 34, 4 << 20, 4 << 20),
-            |mut a| {
-                let mut live = Vec::new();
-                let mut rng = XorShift64::new(7);
-                for _ in 0..1000 {
-                    if live.len() > 20 && rng.one_in(2) {
-                        let i = (rng.next_below(live.len() as u64)) as usize;
-                        let e = live.swap_remove(i);
-                        a.free(e);
-                    } else {
-                        let size = (1 + rng.next_below(10)) * (4 << 20);
-                        live.push(a.allocate(size).unwrap());
-                    }
+fn bench_allocator() {
+    bench_with_setup(
+        "dynamic-band/alloc-free-churn",
+        || DynamicBandAlloc::new(1 << 34, 4 << 20, 4 << 20),
+        |mut a| {
+            let mut live = Vec::new();
+            let mut rng = XorShift64::new(7);
+            for _ in 0..1000 {
+                if live.len() > 20 && rng.one_in(2) {
+                    let i = (rng.next_below(live.len() as u64)) as usize;
+                    let e = live.swap_remove(i);
+                    a.free(e);
+                } else {
+                    let size = (1 + rng.next_below(10)) * (4 << 20);
+                    live.push(a.allocate(size).unwrap());
                 }
-                (a, live)
-            },
-            BatchSize::LargeInput,
-        )
-    });
+            }
+            (a, live)
+        },
+    );
 }
 
-fn bench_zipfian(c: &mut Criterion) {
+fn bench_zipfian() {
     let mut z = ScrambledZipfian::new(1_000_000);
     let mut rng = XorShift64::new(9);
-    c.bench_function("zipfian/next", |b| b.iter(|| z.next(&mut rng, 1_000_000)));
+    bench("zipfian/next", || z.next(&mut rng, 1_000_000));
 }
 
-criterion_group!(
-    benches,
-    bench_crc32c,
-    bench_bloom,
-    bench_memtable,
-    bench_table,
-    bench_allocator,
-    bench_zipfian
-);
-criterion_main!(benches);
+fn main() {
+    bench_crc32c();
+    bench_bloom();
+    bench_memtable();
+    bench_table();
+    bench_allocator();
+    bench_zipfian();
+}

@@ -1,14 +1,14 @@
-//! Criterion benches over the paper's four store configurations at smoke
+//! Micro-benchmarks over the paper's four store configurations at smoke
 //! scale: simulator wall-clock throughput for loads and point reads.
 //! (Simulated-time results — the paper's actual metrics — come from the
 //! `seal-bench` figure harness; these benches track the *implementation's*
 //! speed so regressions in the reproduction itself are visible.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{bench, bench_with_setup};
 use sealdb::{Store, StoreConfig, StoreKind};
 use workloads::{fill_random, RecordGenerator};
 
-fn gen() -> RecordGenerator {
+fn generator() -> RecordGenerator {
     RecordGenerator::new(16, 256, 7)
 }
 
@@ -18,57 +18,47 @@ fn fresh(kind: StoreKind) -> Store {
         .expect("build store")
 }
 
-fn bench_fill_random(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fillrandom-4k-records");
-    group.sample_size(10);
+fn bench_fill_random() {
     for kind in StoreKind::ALL {
-        group.bench_function(kind.name(), |b| {
-            b.iter_batched(
-                || fresh(kind),
-                |mut store| {
-                    fill_random(&mut store, &gen(), 4000, 11).expect("load");
-                    store
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        bench_with_setup(
+            &format!("fillrandom-4k-records/{}", kind.name()),
+            || fresh(kind),
+            |mut store| {
+                fill_random(&mut store, &generator(), 4000, 11).expect("load");
+                store
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_get(c: &mut Criterion) {
-    let mut group = c.benchmark_group("get-after-load");
+fn bench_get() {
     for kind in StoreKind::ALL {
         let mut store = fresh(kind);
-        fill_random(&mut store, &gen(), 4000, 11).expect("load");
-        let g = gen();
-        group.bench_function(kind.name(), |b| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 7919) % 4000;
-                store.get(&g.key(i)).expect("get")
-            })
+        fill_random(&mut store, &generator(), 4000, 11).expect("load");
+        let g = generator();
+        let mut i = 0u64;
+        bench(&format!("get-after-load/{}", kind.name()), || {
+            i = (i + 7919) % 4000;
+            store.get(&g.key(i)).expect("get")
         });
     }
-    group.finish();
 }
 
-fn bench_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scan-100-after-load");
+fn bench_scan() {
     for kind in StoreKind::ALL {
         let mut store = fresh(kind);
-        fill_random(&mut store, &gen(), 4000, 11).expect("load");
-        let g = gen();
-        group.bench_function(kind.name(), |b| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 7919) % 3900;
-                store.scan(&g.key(i), 100).expect("scan")
-            })
+        fill_random(&mut store, &generator(), 4000, 11).expect("load");
+        let g = generator();
+        let mut i = 0u64;
+        bench(&format!("scan-100-after-load/{}", kind.name()), || {
+            i = (i + 7919) % 3900;
+            store.scan(&g.key(i), 100).expect("scan")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fill_random, bench_get, bench_scan);
-criterion_main!(benches);
+fn main() {
+    bench_fill_random();
+    bench_get();
+    bench_scan();
+}

@@ -656,6 +656,10 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
     use sealdb::SetPolicy;
     use smr_sim::Disk;
 
+    /// One ablation row: label, policy factory (data capacity → policy),
+    /// guard-region bytes for the disk layout.
+    type Variant = (String, Box<dyn Fn(u64) -> Box<dyn PlacementPolicy>>, u64);
+
     let mut report = Report::new("Ablation — SEALDB design choices on a random load");
     let mut rows =
         String::from("variant,ops_per_sec,wa,mwa,frontier_mb,free_pool_mb,fragments_mb\n");
@@ -683,7 +687,7 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
     };
 
     let sst = scale.sstable;
-    let variants: Vec<(String, Box<dyn Fn(u64) -> Box<dyn PlacementPolicy>>, u64)> = vec![
+    let variants: Vec<Variant> = vec![
         (
             "sets+priority (SEALDB)".into(),
             Box::new(move |cap| Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(cap, sst, sst))))),

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod timing;
 
 pub use scale::BenchScale;
 
@@ -56,17 +57,16 @@ where
     F: Fn(StoreKind) -> T + Sync,
 {
     let mut out: Vec<Option<T>> = kinds.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for &kind in kinds {
             let f = &f;
-            handles.push(s.spawn(move |_| f(kind)));
+            handles.push(s.spawn(move || f(kind)));
         }
         for (slot, h) in out.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("store thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().map(|o| o.expect("joined")).collect()
 }
 

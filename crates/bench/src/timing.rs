@@ -1,0 +1,84 @@
+//! Minimal wall-clock micro-benchmark runner for the `benches/`
+//! binaries: warm-up, fixed-duration measurement, median-of-batches
+//! reporting. Dependency-free by design — the build must work without
+//! network access, so no external bench harness.
+
+use std::time::{Duration, Instant};
+
+/// Default measurement time per benchmark.
+pub const MEASURE: Duration = Duration::from_millis(400);
+/// Default warm-up time per benchmark.
+pub const WARMUP: Duration = Duration::from_millis(100);
+
+/// Runs `f` repeatedly for ~[`MEASURE`] after a short warm-up and prints
+/// the per-iteration time. The closure's return value is passed through
+/// [`std::hint::black_box`] so the work is not optimised away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up: also discovers a batch size that keeps clock overhead low.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP || iters == 0 {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let batch = iters.max(1);
+
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < MEASURE {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let total: u64 = batch * samples.len() as u64;
+    println!("{name:<40} {:>12}/iter   ({total} iters)", fmt_secs(median));
+}
+
+/// Like [`bench`] but rebuilds fresh input state per iteration via
+/// `setup`; only the time inside `f` is measured.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) {
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    let mut total = 0u64;
+    while start.elapsed() < MEASURE || samples.is_empty() {
+        let state = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(f(state));
+        samples.push(t0.elapsed().as_secs_f64());
+        total += 1;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    println!("{name:<40} {:>12}/iter   ({total} iters)", fmt_secs(median));
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fmt_covers_ranges() {
+        assert!(super::fmt_secs(5e-9).ends_with("ns"));
+        assert!(super::fmt_secs(5e-5).ends_with("µs"));
+        assert!(super::fmt_secs(5e-2).ends_with("ms"));
+        assert!(super::fmt_secs(2.0).ends_with(" s"));
+    }
+}

@@ -13,11 +13,28 @@ use crate::filestore::FileStore;
 use crate::sstable::block::Block;
 use crate::sstable::table::Table;
 use crate::types::FileId;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Key of a cached block: (file id, block offset within the file).
 pub type BlockCacheKey = (FileId, u64);
+
+/// A mutex whose `lock()` never returns a poison error: a panic while
+/// holding the store context must not cascade into every other path that
+/// touches the disk (recovery code in particular keeps running after an
+/// injected-fault panic unwinds through a worker).
+pub struct CtxMutex<T>(std::sync::Mutex<T>);
+
+impl<T> CtxMutex<T> {
+    /// Wraps `value` in a poison-forgiving mutex.
+    pub fn new(value: T) -> Self {
+        CtxMutex(std::sync::Mutex::new(value))
+    }
+
+    /// Locks, recovering the guard even if a previous holder panicked.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
 
 /// The mutable store state shared between the engine and its iterators.
 pub struct StoreCtx {
@@ -30,11 +47,11 @@ pub struct StoreCtx {
 }
 
 /// Shared handle to the store context.
-pub type SharedCtx = Arc<Mutex<StoreCtx>>;
+pub type SharedCtx = Arc<CtxMutex<StoreCtx>>;
 
 /// Creates a shared context with the given cache budgets.
 pub fn new_ctx(fs: FileStore, block_cache_bytes: u64, table_cache_entries: u64) -> SharedCtx {
-    Arc::new(Mutex::new(StoreCtx {
+    Arc::new(CtxMutex::new(StoreCtx {
         fs,
         block_cache: LruCache::new(block_cache_bytes),
         table_cache: LruCache::new(table_cache_entries),

@@ -4,7 +4,9 @@ use crate::context::{get_table, SharedCtx};
 use crate::error::Error;
 use crate::iterator::{InternalIterator, MergingIterator};
 use crate::sstable::TableIterator;
-use crate::types::{internal_compare, lookup_key, parse_trailer, user_key, SequenceNumber, ValueType};
+use crate::types::{
+    internal_compare, lookup_key, try_parse_trailer, user_key, SequenceNumber, ValueType,
+};
 use crate::version::FileMetaHandle;
 use smr_sim::IoKind;
 use std::cmp::Ordering;
@@ -134,7 +136,12 @@ impl<'a> DbIterator<'a> {
     /// end.
     pub fn next_entry(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
         while self.inner.valid() {
-            let (seq, ty) = parse_trailer(self.inner.key());
+            // A trailer that fails to parse means a corrupt entry slipped
+            // past the block CRC; skip it rather than take the scan down.
+            let Ok((seq, ty)) = try_parse_trailer(self.inner.key()) else {
+                self.inner.next();
+                continue;
+            };
             if seq > self.snapshot {
                 self.inner.next();
                 continue;

@@ -13,13 +13,13 @@ pub mod options;
 
 use crate::context::{evict_file, get_table, new_ctx, SharedCtx};
 use crate::error::Result;
-use crate::filestore::FileStore;
+use crate::filestore::{CrashImage, FileStore};
 use crate::iterator::{InternalIterator, MergingIterator};
 use crate::memtable::MemTable;
 use crate::policy::PlacementPolicy;
 use crate::sstable::TableBuilder;
 use crate::types::{
-    lookup_key, parse_trailer, user_key, FileId, SequenceNumber, ValueType, MAX_SEQUENCE,
+    lookup_key, try_parse_trailer, user_key, FileId, SequenceNumber, ValueType, MAX_SEQUENCE,
 };
 use crate::version::{
     Compaction, FileMetaData, FileMetaHandle, VersionEdit, VersionSet, FSMETA_LOG_ID,
@@ -30,6 +30,10 @@ use batch::WriteBatch;
 use iter::{DbIterator, LevelIterator};
 use options::Options;
 use smr_sim::{Disk, IoKind};
+
+/// A finished compaction output awaiting placement:
+/// `(file id, encoded table bytes, smallest key, largest key)`.
+type PendingOutput = (FileId, Vec<u8>, Vec<u8>, Vec<u8>);
 
 /// Details of one executed compaction (drives the paper's Fig. 10).
 #[derive(Clone, Debug)]
@@ -54,6 +58,43 @@ pub struct CompactionRecord {
     pub output_bands: u64,
     /// Whether this was a trivial move (no data rewritten).
     pub trivial_move: bool,
+}
+
+/// What [`DbCore::reopen`] had to tolerate or repair to come back up.
+///
+/// All-zero after a clean shutdown; non-zero fields mean the recovery
+/// paths did real work (torn WAL tail skipped, manifest truncated to its
+/// last consistent prefix, orphaned files reclaimed).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// WAL records replayed into the recovered memtable.
+    pub wal_records_recovered: u64,
+    /// WAL records skipped because they were torn or failed their CRC.
+    pub wal_records_skipped: u64,
+    /// WAL bytes discarded by the log reader while resynchronising.
+    pub wal_bytes_dropped: u64,
+    /// Manifest edits applied.
+    pub manifest_edits_applied: u64,
+    /// Manifest records dropped after the first corrupt one.
+    pub manifest_records_dropped: u64,
+    /// Data files found on disk but absent from the recovered version
+    /// (placed by an edit that never committed) and reclaimed.
+    pub orphan_files_dropped: u64,
+    /// Version files that failed validation on reopen and were removed
+    /// from the tree rather than left to load-bear (see
+    /// [`DbCore::quarantine_invalid_files`]).
+    pub files_quarantined: u64,
+}
+
+impl RecoveryReport {
+    /// True if any recovery path had to repair something.
+    pub fn any_damage(&self) -> bool {
+        self.wal_records_skipped != 0
+            || self.wal_bytes_dropped != 0
+            || self.manifest_records_dropped != 0
+            || self.orphan_files_dropped != 0
+            || self.files_quarantined != 0
+    }
 }
 
 /// A pinned read point; obtain via [`DbCore::snapshot`] and return via
@@ -83,6 +124,8 @@ pub struct DbCore {
     flush_count: u64,
     /// Sequence numbers pinned by live snapshots.
     snapshots: Vec<SequenceNumber>,
+    /// What the last open/reopen had to repair.
+    recovery: RecoveryReport,
 }
 
 impl DbCore {
@@ -119,22 +162,32 @@ impl DbCore {
             compactions: Vec::new(),
             flush_count: 0,
             snapshots: Vec::new(),
+            recovery: RecoveryReport::default(),
         })
     }
 
     /// Re-opens the database from its on-disk state: rebuilds the version
-    /// set from the manifest and replays outstanding WAL records into a
-    /// fresh memtable (crash-recovery path).
+    /// set from the manifest (falling back to its last consistent prefix
+    /// if the tail is corrupt), replays outstanding WAL records into a
+    /// fresh memtable with skip-and-report on torn or corrupt records,
+    /// and reclaims data files that no committed version references.
+    /// [`DbCore::recovery_report`] says what was repaired.
     pub fn reopen(self) -> Result<DbCore> {
         let DbCore {
-            opts, ctx, policy, ..
+            opts,
+            ctx,
+            mut policy,
+            ..
         } = self;
         let mut versions = VersionSet::new(opts.level_params());
         let mut mem = MemTable::new(opts.seed ^ 0xC0FFEE);
         let mut max_seq = 0u64;
+        let mut report = RecoveryReport::default();
         {
             let mut guard = ctx.lock();
-            versions.recover(&mut guard.fs)?;
+            let manifest = versions.recover(&mut guard.fs)?;
+            report.manifest_edits_applied = manifest.edits_applied;
+            report.manifest_records_dropped = manifest.records_dropped;
             let replay_from = versions.log_number();
             for log_id in guard.fs.log_ids() {
                 if log_id == MANIFEST_LOG_ID || log_id == FSMETA_LOG_ID || log_id < replay_from {
@@ -143,12 +196,49 @@ impl DbCore {
                 let data = guard.fs.log_read_all(log_id, IoKind::Meta)?;
                 let mut reader = LogReader::new(&data);
                 while let Some(rec) = reader.next_record() {
-                    let Ok(rec) = rec else { break };
-                    let batch = WriteBatch::decode(&rec)?;
+                    // Skip-and-report: a torn or corrupt record loses its
+                    // batch, but later intact records still replay.
+                    let rec = match rec {
+                        Ok(rec) => rec,
+                        Err(_) => {
+                            report.wal_records_skipped += 1;
+                            guard.fs.disk_mut().stats_mut().faults.checksum_failures += 1;
+                            continue;
+                        }
+                    };
+                    let Ok(batch) = WriteBatch::decode(&rec) else {
+                        report.wal_records_skipped += 1;
+                        continue;
+                    };
                     for (seq, ty, key, value) in batch.iter() {
                         mem.add(seq, ty, key, value);
                         max_seq = max_seq.max(seq);
                     }
+                    report.wal_records_recovered += 1;
+                }
+                report.wal_bytes_dropped += reader.dropped_bytes as u64;
+            }
+            // Orphan cleanup: a crash between file placement and the
+            // manifest commit (or a manifest tail we just dropped) leaves
+            // data files no version references. They must not load-bear;
+            // reclaim their space.
+            let live: std::collections::HashSet<FileId> = versions
+                .current()
+                .files
+                .iter()
+                .flatten()
+                .map(|f| f.id)
+                .collect();
+            let orphans: Vec<FileId> = guard
+                .fs
+                .file_extents()
+                .into_iter()
+                .map(|(id, _)| id)
+                .filter(|id| !live.contains(id))
+                .collect();
+            for id in orphans {
+                if policy.delete_file(&mut guard.fs, id).is_ok() {
+                    report.orphan_files_dropped += 1;
                 }
             }
         }
@@ -180,12 +270,73 @@ impl DbCore {
             compactions: Vec::new(),
             flush_count: 0,
             snapshots: Vec::new(),
+            recovery: report,
         })
+    }
+
+    /// Rebuilds the database from a crash image: the file store reverts
+    /// to the captured power-cut state, both caches drop (they may hold
+    /// blocks from the discarded future), the placement policy relearns
+    /// exactly the surviving extents, and normal recovery (manifest +
+    /// WAL replay + orphan cleanup) runs on what the disk retained.
+    pub fn restore_crash_image(mut self, image: &CrashImage) -> Result<DbCore> {
+        {
+            let mut guard = self.ctx.lock();
+            guard.fs.restore_crash_image(image);
+            guard.block_cache.clear();
+            guard.table_cache.clear();
+            let live = guard.fs.file_extents();
+            self.policy.rebuild(&live);
+        }
+        self.reopen()
+    }
+
+    /// Validates every data file the current version references by
+    /// opening it as a table (footer, index and filter checks). Files
+    /// that fail are *quarantined*: removed from the version through a
+    /// committed manifest edit and their space reclaimed, so a corrupt
+    /// file can never load-bear a read. Returns the quarantined ids.
+    pub fn quarantine_invalid_files(&mut self) -> Result<Vec<FileId>> {
+        let version = self.versions.current();
+        let mut bad: Vec<(usize, FileId)> = Vec::new();
+        for (level, files) in version.files.iter().enumerate() {
+            for f in files {
+                if get_table(&self.ctx, f.id, f.size).is_err() {
+                    bad.push((level, f.id));
+                }
+            }
+        }
+        if bad.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut edit = VersionEdit::default();
+        for &(level, id) in &bad {
+            edit.delete_file(level, id);
+        }
+        {
+            let mut guard = self.ctx.lock();
+            self.versions.log_and_apply(&mut guard.fs, edit)?;
+            for &(_, id) in &bad {
+                self.policy.delete_file(&mut guard.fs, id)?;
+            }
+        }
+        let ids: Vec<FileId> = bad.into_iter().map(|(_, id)| id).collect();
+        for &id in &ids {
+            evict_file(&self.ctx, id);
+        }
+        self.recovery.files_quarantined += ids.len() as u64;
+        Ok(ids)
     }
 
     /// The shared store context (disk stats, traces, caches).
     pub fn ctx(&self) -> &SharedCtx {
         &self.ctx
+    }
+
+    /// What the last [`DbCore::reopen`] had to tolerate or repair
+    /// (all-zero for a freshly opened database).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Engine options.
@@ -270,8 +421,7 @@ impl DbCore {
         }
         let seq = self.versions.last_sequence() + 1;
         batch.set_sequence(seq);
-        if self.wal.is_some() {
-            let wal = self.wal.as_mut().expect("wal enabled");
+        if let Some(wal) = self.wal.as_mut() {
             wal.add_record(batch.rep());
             // The OS page cache absorbs small appends; bytes reach the
             // disk in `wal_buffer_bytes` chunks (sync=false semantics).
@@ -387,43 +537,40 @@ impl DbCore {
     pub fn compact_range(&mut self, begin: &[u8], end: &[u8]) -> Result<()> {
         self.flush_memtable()?;
         for level in 0..self.opts.num_levels - 1 {
-            loop {
-                let version = self.versions.current();
-                let inputs0 = version.overlapping_files(level, begin, end);
-                if inputs0.is_empty() {
-                    break;
-                }
-                let (lo, hi) = {
-                    let mut lo = user_key(&inputs0[0].smallest).to_vec();
-                    let mut hi = user_key(&inputs0[0].largest).to_vec();
-                    for f in &inputs0[1..] {
-                        if user_key(&f.smallest) < lo.as_slice() {
-                            lo = user_key(&f.smallest).to_vec();
-                        }
-                        if user_key(&f.largest) > hi.as_slice() {
-                            hi = user_key(&f.largest).to_vec();
-                        }
-                    }
-                    (lo, hi)
-                };
-                let inputs1 = if level + 1 < self.opts.num_levels {
-                    version.overlapping_files(level + 1, &lo, &hi)
-                } else {
-                    Vec::new()
-                };
-                let grandparents = if level + 2 < self.opts.num_levels {
-                    version.overlapping_files(level + 2, &lo, &hi)
-                } else {
-                    Vec::new()
-                };
-                let c = Compaction {
-                    level,
-                    inputs: [inputs0, inputs1],
-                    grandparents,
-                };
-                self.do_compaction(c)?;
-                break;
+            let version = self.versions.current();
+            let inputs0 = version.overlapping_files(level, begin, end);
+            if inputs0.is_empty() {
+                continue;
             }
+            let (lo, hi) = {
+                let mut lo = user_key(&inputs0[0].smallest).to_vec();
+                let mut hi = user_key(&inputs0[0].largest).to_vec();
+                for f in &inputs0[1..] {
+                    if user_key(&f.smallest) < lo.as_slice() {
+                        lo = user_key(&f.smallest).to_vec();
+                    }
+                    if user_key(&f.largest) > hi.as_slice() {
+                        hi = user_key(&f.largest).to_vec();
+                    }
+                }
+                (lo, hi)
+            };
+            let inputs1 = if level + 1 < self.opts.num_levels {
+                version.overlapping_files(level + 1, &lo, &hi)
+            } else {
+                Vec::new()
+            };
+            let grandparents = if level + 2 < self.opts.num_levels {
+                version.overlapping_files(level + 2, &lo, &hi)
+            } else {
+                Vec::new()
+            };
+            let c = Compaction {
+                level,
+                inputs: [inputs0, inputs1],
+                grandparents,
+            };
+            self.do_compaction(c)?;
         }
         self.compact_until_quiescent()
     }
@@ -506,7 +653,7 @@ impl DbCore {
         // itself at or below the smallest snapshot may go).
         let version = self.versions.current();
         let smallest_snapshot = self.smallest_snapshot();
-        let mut outputs: Vec<(FileId, Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut outputs: Vec<PendingOutput> = Vec::new();
         let mut builder: Option<TableBuilder> = None;
         let mut last_user_key: Option<Vec<u8>> = None;
         let mut last_seq_for_key = MAX_SEQUENCE;
@@ -533,7 +680,7 @@ impl DbCore {
                     gp_overlap = 0;
                 }
             }
-            let (seq, ty) = parse_trailer(&ikey);
+            let (seq, ty) = try_parse_trailer(&ikey)?;
             let drop_entry = if last_seq_for_key <= smallest_snapshot {
                 // A newer version of this key is visible at every live
                 // snapshot: nothing can observe this one.
@@ -633,7 +780,7 @@ impl DbCore {
     }
 
     fn finish_output(
-        outputs: &mut Vec<(FileId, Vec<u8>, Vec<u8>, Vec<u8>)>,
+        outputs: &mut Vec<PendingOutput>,
         versions: &mut VersionSet,
         builder: TableBuilder,
     ) {
@@ -715,7 +862,7 @@ impl DbCore {
                 return Err(e);
             }
             if it.valid() && user_key(it.key()) == key {
-                let (_, ty) = parse_trailer(it.key());
+                let (_, ty) = try_parse_trailer(it.key())?;
                 return Ok(match ty {
                     ValueType::Value => Some(it.value().to_vec()),
                     ValueType::Deletion => None,
@@ -1010,7 +1157,7 @@ mod tests {
     #[test]
     fn user_payload_accounted() {
         let mut db = open_db(64 << 10);
-        db.put(b"0123456789", &vec![7u8; 90]).unwrap();
+        db.put(b"0123456789", &[7u8; 90]).unwrap();
         let payload = db.ctx().lock().fs.disk().stats().user_payload;
         assert_eq!(payload, 100);
     }

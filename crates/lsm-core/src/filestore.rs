@@ -6,12 +6,13 @@
 
 use crate::error::{Error, Result};
 use crate::types::FileId;
-use smr_sim::{Disk, Extent, IoKind};
+use smr_sim::{Disk, DiskSnapshot, Extent, IoKind};
 use std::collections::{BTreeSet, HashMap};
 
 /// Chunk granularity of the conventional log zone.
 pub const LOG_CHUNK: u64 = 256 * 1024;
 
+#[derive(Clone)]
 struct LogFile {
     chunks: Vec<u64>,
     len: u64,
@@ -29,12 +30,36 @@ impl LogZone {
     }
 }
 
+/// A consistent power-cut image of the whole file store: a copy-on-write
+/// [`DiskSnapshot`] paired with the file/log metadata as of the same
+/// operation boundary. Captured automatically at the first file-store
+/// operation boundary after each Kth disk write once
+/// [`smr_sim::FaultPlan::snapshot_every`] is armed (sub-operation crash
+/// points are covered by torn-write injection, which needs no image), and
+/// restored with [`FileStore::restore_crash_image`].
+#[derive(Clone)]
+pub struct CrashImage {
+    disk: DiskSnapshot,
+    files: HashMap<FileId, Extent>,
+    logs: HashMap<FileId, LogFile>,
+    zone_free: BTreeSet<u64>,
+}
+
+impl CrashImage {
+    /// Number of disk writes completed when this image was captured.
+    pub fn write_index(&self) -> u64 {
+        self.disk.write_index()
+    }
+}
+
 /// File-id → extent indirection over one simulated disk.
 pub struct FileStore {
     disk: Disk,
     files: HashMap<FileId, Extent>,
     logs: HashMap<FileId, LogFile>,
     zone: LogZone,
+    /// Crash images pending collection by the fault harness.
+    crash_images: Vec<CrashImage>,
 }
 
 impl FileStore {
@@ -56,7 +81,72 @@ impl FileStore {
                 chunk_count,
                 free: (0..chunk_count).collect(),
             },
+            crash_images: Vec::new(),
         }
+    }
+
+    /// Reads from the disk, retrying once on an injected transient read
+    /// error — the host-side handling real drivers apply to recoverable
+    /// latent sector errors. Permanent faults pass through unchanged.
+    fn read_disk_retrying(&mut self, ext: Extent, kind: IoKind) -> Result<Vec<u8>> {
+        match self.disk.read(ext, kind) {
+            Err(e) if e.is_transient() => {
+                self.disk.stats_mut().faults.read_retries += 1;
+                Ok(self.disk.read(ext, kind)?)
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Captures a power-cut image at an operation boundary when the
+    /// disk's snapshot cadence fired during the last operation. Mid-
+    /// operation disk snapshots are discarded in favour of one consistent
+    /// boundary image (torn-write injection covers intra-operation crash
+    /// points, where no paired metadata can exist).
+    fn maybe_capture_crash_image(&mut self) {
+        if self.disk.take_crash_snapshots().is_empty() {
+            return;
+        }
+        self.crash_images.push(CrashImage {
+            disk: self.disk.snapshot(),
+            files: self.files.clone(),
+            logs: self.logs.clone(),
+            zone_free: self.zone.free.clone(),
+        });
+    }
+
+    /// Takes a power-cut image of the store's current state on demand.
+    pub fn crash_image(&self) -> CrashImage {
+        CrashImage {
+            disk: self.disk.snapshot(),
+            files: self.files.clone(),
+            logs: self.logs.clone(),
+            zone_free: self.zone.free.clone(),
+        }
+    }
+
+    /// Drains the automatically captured crash images.
+    pub fn take_crash_images(&mut self) -> Vec<CrashImage> {
+        std::mem::take(&mut self.crash_images)
+    }
+
+    /// Rolls the store back to `img`, as if power was cut at that
+    /// boundary and the machine rebooted. Callers must rebuild any state
+    /// layered above (version set, placement allocator) afterwards — see
+    /// `sealdb::Store`'s crash-recovery constructor.
+    pub fn restore_crash_image(&mut self, img: &CrashImage) {
+        self.disk.restore(&img.disk);
+        self.files = img.files.clone();
+        self.logs = img.logs.clone();
+        self.zone.free = img.zone_free.clone();
+        self.crash_images.clear();
+    }
+
+    /// All registered table files and their extents (recovery/rebuild).
+    pub fn file_extents(&self) -> Vec<(FileId, Extent)> {
+        let mut v: Vec<(FileId, Extent)> = self.files.iter().map(|(&id, &e)| (id, e)).collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        v
     }
 
     /// First byte of the log zone (data allocators must stay below this).
@@ -83,6 +173,7 @@ impl FileStore {
         self.disk.set_trace_file(id);
         self.disk.write(ext, data, kind)?;
         self.files.insert(id, ext);
+        self.maybe_capture_crash_image();
         Ok(())
     }
 
@@ -119,14 +210,14 @@ impl FileStore {
             )));
         }
         self.disk.set_trace_file(id);
-        Ok(self.disk.read(Extent::new(ext.offset + offset, len), kind)?)
+        self.read_disk_retrying(Extent::new(ext.offset + offset, len), kind)
     }
 
     /// Reads a whole file in one sequential access.
     pub fn read_full(&mut self, id: FileId, kind: IoKind) -> Result<Vec<u8>> {
         let ext = self.file_extent(id)?;
         self.disk.set_trace_file(id);
-        Ok(self.disk.read(ext, kind)?)
+        self.read_disk_retrying(ext, kind)
     }
 
     /// Unregisters a file and invalidates its bytes on disk, returning the
@@ -201,14 +292,45 @@ impl FileStore {
                 len += n as u64;
             }
         }
+        let mut torn: Option<(usize, Error)> = None;
         for (off, s, e) in pieces {
             self.disk.set_trace_file(id);
-            self.disk
-                .write_conventional(Extent::new(off, (e - s) as u64), &data[s..e], kind)?;
+            match self
+                .disk
+                .write_conventional(Extent::new(off, (e - s) as u64), &data[s..e], kind)
+            {
+                Ok(()) => {}
+                Err(err @ smr_sim::DiskError::TornWrite { .. }) => {
+                    // The drive acknowledged this piece before dying: the
+                    // log's metadata (journalled ahead of the data, like a
+                    // filesystem extending the file) covers it, so reopen
+                    // sees a torn tail the record CRCs must catch.
+                    torn = Some((e, err.into()));
+                    break;
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
+        if let Some((acked, err)) = torn {
+            let log = self.logs.get_mut(&id).expect("checked above");
+            let new_len = log.len + acked as u64;
+            let covering = new_len.div_ceil(LOG_CHUNK) as usize;
+            for chunk in chunks_needed {
+                if log.chunks.len() < covering {
+                    log.chunks.push(chunk);
+                } else {
+                    // Allocated for pieces past the torn one; never
+                    // acknowledged, so the metadata never learned of them.
+                    self.zone.free.insert(chunk);
+                }
+            }
+            log.len = new_len;
+            return Err(err);
         }
         let log = self.logs.get_mut(&id).expect("checked above");
         log.chunks.extend(chunks_needed);
         log.len = len;
+        self.maybe_capture_crash_image();
         Ok(())
     }
 
@@ -226,9 +348,8 @@ impl FileStore {
         for chunk in chunks {
             let n = remaining.min(LOG_CHUNK);
             self.disk.set_trace_file(id);
-            let piece = self
-                .disk
-                .read(Extent::new(self.zone.chunk_addr(chunk), n), kind)?;
+            let addr = self.zone.chunk_addr(chunk);
+            let piece = self.read_disk_retrying(Extent::new(addr, n), kind)?;
             out.extend_from_slice(&piece);
             remaining -= n;
         }
@@ -357,6 +478,65 @@ mod tests {
         let mut s = fs();
         s.create_log(1).unwrap();
         assert!(s.create_log(1).is_err());
+    }
+
+    #[test]
+    fn transient_read_is_retried_once() {
+        let mut s = fs();
+        let data = vec![0x5A; 4096];
+        s.write_file_at(7, Extent::new(0, 4096), &data, IoKind::Flush).unwrap();
+        s.disk_mut().faults_mut().fail_reads_transiently(2);
+        // The retry is internal: the caller just sees a successful read.
+        assert_eq!(s.read_full(7, IoKind::Get).unwrap(), data);
+        assert_eq!(s.disk().stats().faults.transient_read_errors, 1);
+        assert_eq!(s.disk().stats().faults.read_retries, 1);
+    }
+
+    #[test]
+    fn log_read_retries_transient_errors() {
+        let mut s = fs();
+        s.create_log(100).unwrap();
+        let payload = vec![3u8; 300 * 1024]; // spans two chunks
+        s.log_append(100, &payload, IoKind::Wal).unwrap();
+        s.disk_mut().faults_mut().fail_reads_transiently(4);
+        assert_eq!(s.log_read_all(100, IoKind::Meta).unwrap(), payload);
+        assert_eq!(s.disk().stats().faults.read_retries, 2);
+    }
+
+    #[test]
+    fn crash_image_restores_files_and_logs() {
+        let mut s = fs();
+        s.write_file_at(7, Extent::new(0, 64), &[1u8; 64], IoKind::Flush).unwrap();
+        s.create_log(100).unwrap();
+        s.log_append(100, &[2u8; 100], IoKind::Wal).unwrap();
+        let img = s.crash_image();
+        // Diverge: new file, more log data, drop the original file.
+        s.write_file_at(8, Extent::new(4096, 64), &[3u8; 64], IoKind::Flush).unwrap();
+        s.log_append(100, &[4u8; 100], IoKind::Wal).unwrap();
+        s.drop_file(7).unwrap();
+        s.restore_crash_image(&img);
+        assert!(s.has_file(7));
+        assert!(!s.has_file(8));
+        assert_eq!(s.read_full(7, IoKind::Get).unwrap(), vec![1u8; 64]);
+        assert_eq!(s.log_len(100).unwrap(), 100);
+        assert_eq!(s.log_read_all(100, IoKind::Meta).unwrap(), vec![2u8; 100]);
+    }
+
+    #[test]
+    fn auto_crash_images_fire_at_op_boundaries() {
+        let mut s = fs();
+        s.disk_mut().faults_mut().snapshot_every(2);
+        for i in 0..5u64 {
+            s.write_file_at(i, Extent::new(i * 4096, 64), &[i as u8; 64], IoKind::Flush)
+                .unwrap();
+        }
+        let images = s.take_crash_images();
+        assert_eq!(images.len(), 2, "cadence 2 over 5 writes");
+        assert!(s.take_crash_images().is_empty());
+        // Restoring the first image rolls back to exactly two files.
+        s.restore_crash_image(&images[0]);
+        assert_eq!(s.file_count(), 2);
+        assert!(s.has_file(0) && s.has_file(1) && !s.has_file(2));
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod util;
 pub mod version;
 pub mod wal;
 
-pub use db::{batch::WriteBatch, options::Options, CompactionRecord, DbCore, Snapshot};
+pub use db::{batch::WriteBatch, options::Options, CompactionRecord, DbCore, RecoveryReport, Snapshot};
 pub use error::{Error, Result};
-pub use filestore::FileStore;
+pub use filestore::{CrashImage, FileStore};
 pub use policy::{GcConfig, GcReport, PerFilePolicy, PlacementPolicy, SetStats};
 pub use types::{FileId, SequenceNumber, ValueType};

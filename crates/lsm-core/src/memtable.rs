@@ -146,12 +146,12 @@ impl MemTable {
             entry: entry_off,
             next: [NIL; MAX_HEIGHT],
         };
-        for level in 0..height {
-            node.next[level] = self.nodes[prev[level] as usize].next[level];
+        for (level, &p) in prev.iter().enumerate().take(height) {
+            node.next[level] = self.nodes[p as usize].next[level];
         }
         self.nodes.push(node);
-        for level in 0..height {
-            self.nodes[prev[level] as usize].next[level] = new_idx;
+        for (level, &p) in prev.iter().enumerate().take(height) {
+            self.nodes[p as usize].next[level] = new_idx;
         }
         self.entries += 1;
     }

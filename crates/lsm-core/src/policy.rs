@@ -14,7 +14,7 @@ use crate::filestore::FileStore;
 use crate::types::FileId;
 use crate::version::FSMETA_LOG_ID;
 use placement::Allocator;
-use smr_sim::IoKind;
+use smr_sim::{Extent, IoKind};
 
 /// Decides where flush and compaction outputs land on disk.
 pub trait PlacementPolicy: Send {
@@ -43,6 +43,13 @@ pub trait PlacementPolicy: Send {
 
     /// Introspection over the underlying allocator (layout figures).
     fn allocator(&self) -> &dyn Allocator;
+
+    /// Resets the policy's space bookkeeping to match a file store
+    /// restored from a crash image: exactly the `live` (file, extent)
+    /// pairs exist on disk. The allocator relearns those extents; any
+    /// set/region bookkeeping restarts from per-file granularity (set
+    /// grouping is an optimisation, not a correctness input).
+    fn rebuild(&mut self, live: &[(FileId, Extent)]);
 
     /// Set bookkeeping statistics, for policies that group files into
     /// sets. Default: none.
@@ -210,6 +217,11 @@ impl PlacementPolicy for PerFilePolicy {
 
     fn allocator(&self) -> &dyn Allocator {
         self.alloc.as_ref()
+    }
+
+    fn rebuild(&mut self, live: &[(FileId, Extent)]) {
+        let exts: Vec<Extent> = live.iter().map(|&(_, e)| e).collect();
+        self.alloc.rebuild(&exts);
     }
 }
 

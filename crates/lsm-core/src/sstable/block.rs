@@ -220,7 +220,7 @@ impl InternalIterator for BlockIter {
         let mut left = 0usize;
         let mut right = self.block.num_restarts - 1;
         while left < right {
-            let mid = (left + right + 1) / 2;
+            let mid = (left + right).div_ceil(2);
             self.seek_to_restart(mid);
             if !self.parse_next() {
                 // Corrupt entry: fall back to a full scan from the start.

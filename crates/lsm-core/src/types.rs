@@ -59,12 +59,30 @@ pub fn user_key(ikey: &[u8]) -> &[u8] {
     &ikey[..ikey.len() - 8]
 }
 
-/// Decoded trailer of an internal key.
+/// Decoded trailer of an internal key. Panics on an unknown type byte —
+/// only for keys the engine built itself (memtable entries); keys read
+/// back from disk go through [`try_parse_trailer`].
 pub fn parse_trailer(ikey: &[u8]) -> (SequenceNumber, ValueType) {
     debug_assert!(ikey.len() >= 8);
     let packed = decode_fixed64(&ikey[ikey.len() - 8..]);
     let ty = ValueType::from_u8((packed & 0xFF) as u8).expect("valid value type");
     (packed >> 8, ty)
+}
+
+/// Decoded trailer of an internal key that came off the disk: an unknown
+/// type byte or a short key is a corruption error, not a panic.
+pub fn try_parse_trailer(ikey: &[u8]) -> crate::error::Result<(SequenceNumber, ValueType)> {
+    if ikey.len() < 8 {
+        return crate::error::corruption("internal key shorter than its trailer");
+    }
+    let packed = decode_fixed64(&ikey[ikey.len() - 8..]);
+    let Some(ty) = ValueType::from_u8((packed & 0xFF) as u8) else {
+        return crate::error::corruption(format!(
+            "unknown value type {} in internal key",
+            packed & 0xFF
+        ));
+    };
+    Ok((packed >> 8, ty))
 }
 
 /// Sequence number embedded in an internal key.

@@ -7,5 +7,5 @@ pub mod set;
 pub mod version;
 
 pub use edit::{FileMetaData, FileMetaHandle, VersionEdit};
-pub use set::{Compaction, LevelParams, VersionSet, FSMETA_LOG_ID, MANIFEST_LOG_ID};
+pub use set::{Compaction, LevelParams, ManifestRecovery, VersionSet, FSMETA_LOG_ID, MANIFEST_LOG_ID};
 pub use version::Version;

@@ -15,6 +15,21 @@ use std::sync::Arc;
 
 /// Reserved log id for the manifest.
 pub const MANIFEST_LOG_ID: FileId = 1;
+
+/// Victim-priority hook: scores a compaction candidate given the
+/// next-level files its compaction would consume (SEALDB's set hook).
+pub type VictimPriority<'a> = &'a dyn Fn(&[FileMetaHandle]) -> u64;
+
+/// Outcome of a manifest recovery: how much of the log was intact and
+/// how many trailing records were abandoned as corrupt or half-written.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ManifestRecovery {
+    /// Version edits decoded and applied.
+    pub edits_applied: u64,
+    /// Records dropped after the first corrupt one (the recovery falls
+    /// back to the last consistent version).
+    pub records_dropped: u64,
+}
 /// Reserved log id for the (optional) filesystem-metadata journal.
 pub const FSMETA_LOG_ID: FileId = 0;
 /// First id handed out for WALs and tables.
@@ -130,15 +145,36 @@ impl VersionSet {
     }
 
     /// Rebuilds state from an existing manifest log.
-    pub fn recover(&mut self, fs: &mut FileStore) -> Result<()> {
+    ///
+    /// A corrupt or half-written record aborts the scan: the edits after
+    /// it may depend on it, so recovery falls back to the last consistent
+    /// version (safe because [`VersionSet::log_and_apply`] stamps the
+    /// counters into every record — any intact prefix carries a complete
+    /// `next_file` / `last_sequence` / `log_number`). Only a manifest
+    /// with no intact edit at all is an error.
+    pub fn recover(&mut self, fs: &mut FileStore) -> Result<ManifestRecovery> {
         if !fs.has_log(MANIFEST_LOG_ID) {
             return corruption("missing manifest log");
         }
         let data = fs.log_read_all(MANIFEST_LOG_ID, IoKind::Meta)?;
         let mut reader = LogReader::new(&data);
         let mut version = Version::empty(self.params.num_levels);
+        let mut report = ManifestRecovery::default();
         while let Some(rec) = reader.next_record() {
-            let edit = VersionEdit::decode(&rec?)?;
+            let decoded = match rec {
+                Ok(bytes) => VersionEdit::decode(&bytes),
+                Err(e) => {
+                    fs.disk_mut().stats_mut().faults.checksum_failures += 1;
+                    Err(e)
+                }
+            };
+            let Ok(edit) = decoded else {
+                report.records_dropped += 1;
+                while reader.next_record().is_some() {
+                    report.records_dropped += 1;
+                }
+                break;
+            };
             Self::apply_edit(&mut version, &edit);
             if let Some(v) = edit.next_file {
                 self.next_file = v;
@@ -152,12 +188,16 @@ impl VersionSet {
             for (level, key) in edit.compact_pointers {
                 self.compact_pointer[level] = key;
             }
+            report.edits_applied += 1;
+        }
+        if report.edits_applied == 0 && !data.is_empty() {
+            return corruption("manifest contains no intact edits");
         }
         version
             .check_invariants()
             .map_err(crate::error::Error::Corruption)?;
         self.current = Arc::new(version);
-        Ok(())
+        Ok(report)
     }
 
     fn apply_edit(version: &mut Version, edit: &VersionEdit) {
@@ -284,10 +324,7 @@ impl VersionSet {
     /// next-level files its compaction would consume; the candidate with
     /// the highest non-zero score wins, otherwise the round-robin
     /// compaction pointer decides (LevelDB's policy).
-    pub fn pick_compaction(
-        &self,
-        priority: Option<&dyn Fn(&[FileMetaHandle]) -> u64>,
-    ) -> Option<Compaction> {
+    pub fn pick_compaction(&self, priority: Option<VictimPriority<'_>>) -> Option<Compaction> {
         let (level, score) = self.compaction_score();
         if score < 1.0 {
             return None;
@@ -333,7 +370,7 @@ impl VersionSet {
         &self,
         level: usize,
         files: &[FileMetaHandle],
-        priority: Option<&dyn Fn(&[FileMetaHandle]) -> u64>,
+        priority: Option<VictimPriority<'_>>,
     ) -> Option<usize> {
         let priority = priority?;
         if level + 1 >= self.params.num_levels {
@@ -345,7 +382,7 @@ impl VersionSet {
                 self.current
                     .overlapping_files(level + 1, user_key(&f.smallest), user_key(&f.largest));
             let score = priority(&overlapped);
-            if score > 0 && best.map_or(true, |(_, s)| score > s) {
+            if score > 0 && best.is_none_or(|(_, s)| score > s) {
                 best = Some((i, score));
             }
         }
@@ -493,6 +530,54 @@ mod tests {
         vs2.log_and_apply(&mut store, e).unwrap();
         let c = vs2.pick_compaction(None).unwrap();
         assert_eq!(c.inputs[0][0].id, 901, "pointer past 'm' picks file 901");
+    }
+
+    #[test]
+    fn recover_falls_back_on_corrupt_manifest_tail() {
+        let mut store = fs();
+        let mut vs = VersionSet::new(params());
+        vs.create(&mut store).unwrap();
+        let id = vs.new_file_id();
+        let mut edit = VersionEdit::default();
+        edit.add_file(1, meta(id, "a", "m", MB));
+        vs.log_and_apply(&mut store, edit).unwrap();
+        // Append a record whose payload was mangled in flight: the CRC
+        // check must reject it and recovery must stop there.
+        let mut w = LogWriter::new();
+        w.add_record(b"half-written version edit");
+        let mut bytes = w.take();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        store.log_append(MANIFEST_LOG_ID, &bytes, IoKind::Meta).unwrap();
+
+        let mut vs2 = VersionSet::new(params());
+        let rep = vs2.recover(&mut store).unwrap();
+        assert_eq!(rep.edits_applied, 2, "create + one applied edit");
+        assert_eq!(rep.records_dropped, 1);
+        // The surviving prefix is the last consistent version.
+        assert_eq!(vs2.current().level_file_count(1), 1);
+        assert_eq!(vs2.last_sequence(), vs.last_sequence());
+        assert!(vs2.new_file_id() > id);
+        assert_eq!(store.disk().stats().faults.checksum_failures, 1);
+    }
+
+    #[test]
+    fn recover_rejects_manifest_with_no_intact_edit() {
+        let mut store = fs();
+        let mut vs = VersionSet::new(params());
+        vs.create(&mut store).unwrap();
+        // Corrupt the very first record in place: zero intact edits.
+        let data = store.log_read_all(MANIFEST_LOG_ID, IoKind::Meta).unwrap();
+        let mut mangled = data.clone();
+        let n = mangled.len();
+        mangled[n - 1] ^= 0xFF;
+        store.delete_log(MANIFEST_LOG_ID).unwrap();
+        store.create_log(MANIFEST_LOG_ID).unwrap();
+        store.log_append(MANIFEST_LOG_ID, &mangled, IoKind::Meta).unwrap();
+
+        let mut vs2 = VersionSet::new(params());
+        let err = vs2.recover(&mut store).unwrap_err();
+        assert!(matches!(err, crate::error::Error::Corruption(_)), "{err:?}");
     }
 
     #[test]

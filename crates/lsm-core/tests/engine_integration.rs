@@ -51,7 +51,7 @@ fn deep_levels_form_under_sustained_load() {
     for i in 0..30_000u64 {
         let j = (i * 2654435761) % 30_000;
         let (k, _) = kv(j);
-        db.put(&k, &vec![(j % 251) as u8; 48]).unwrap();
+        db.put(&k, &[(j % 251) as u8; 48]).unwrap();
     }
     db.flush().unwrap();
     let v = db.current_version();

@@ -176,6 +176,28 @@ impl Allocator for DynamicBandAlloc {
         "dynamic-band"
     }
 
+    fn rebuild(&mut self, live: &[Extent]) {
+        self.live.clear();
+        self.free = FreeSpaceList::new(self.free.align());
+        self.allocated = 0;
+        self.frontier = 0;
+        for ext in live {
+            // Guard bytes the lost allocation had reserved past its data
+            // are unknown here, so each survivor keeps only its data
+            // bytes; the gaps between survivors stay unreachable (neither
+            // live nor free), which wastes them but never double-allocates.
+            self.live.insert(
+                ext.offset,
+                AllocRecord {
+                    data_len: ext.len,
+                    reserved_len: ext.len,
+                },
+            );
+            self.allocated += ext.len;
+            self.frontier = self.frontier.max(ext.end());
+        }
+    }
+
     fn band_snapshot(&self) -> Vec<(Extent, usize)> {
         self.bands()
     }
@@ -291,6 +313,38 @@ mod tests {
         a.allocate(8 * MB).unwrap();
         let err = a.allocate(4 * MB).unwrap_err();
         assert!(matches!(err, AllocError::OutOfSpace { .. }));
+    }
+
+    #[test]
+    fn rebuild_restores_live_set() {
+        let mut a = alloc();
+        let s1 = a.allocate(8 * MB).unwrap();
+        let s2 = a.allocate(12 * MB).unwrap();
+        let s3 = a.allocate(4 * MB).unwrap();
+        a.free(s2);
+        // Pretend a crash image knows only s1 and s3 survived.
+        a.rebuild(&[s1, s3]);
+        assert_eq!(a.allocated_bytes(), 12 * MB);
+        assert_eq!(a.frontier(), 24 * MB);
+        assert_eq!(a.free_pool_bytes(), 0, "free pool restarts empty");
+        // The survivors can be freed without panicking...
+        a.free(s1);
+        a.free(s3);
+        assert_eq!(a.allocated_bytes(), 0);
+        // ...and new allocations append past the old frontier.
+        let e = a.allocate(4 * MB).unwrap();
+        assert!(e.offset == 0 || e.offset >= 20 * MB);
+    }
+
+    #[test]
+    fn rebuild_empty_resets_frontier() {
+        let mut a = alloc();
+        a.allocate(8 * MB).unwrap();
+        a.rebuild(&[]);
+        assert_eq!(a.allocated_bytes(), 0);
+        assert_eq!(a.frontier(), 0);
+        let e = a.allocate(4 * MB).unwrap();
+        assert_eq!(e.offset, 0);
     }
 
     #[test]

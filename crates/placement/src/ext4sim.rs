@@ -151,6 +151,27 @@ impl Allocator for Ext4Sim {
     fn name(&self) -> &'static str {
         "ext4-sim"
     }
+
+    fn rebuild(&mut self, live: &[Extent]) {
+        self.allocated = 0;
+        self.high_water = 0;
+        for g in &mut self.groups {
+            let mut free = ExtentSet::new();
+            free.insert(Extent::new(g.base, g.size));
+            g.free = free;
+        }
+        for &ext in live {
+            let gi = self.group_of(ext.offset);
+            let group = &mut self.groups[gi];
+            assert!(
+                ext.end() <= group.base + group.size,
+                "live extent {ext:?} crosses group boundary"
+            );
+            group.free.remove(ext);
+            self.allocated += ext.len;
+            self.high_water = self.high_water.max(ext.end());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +234,24 @@ mod tests {
         a.allocate(8 * MB).unwrap();
         a.allocate(8 * MB).unwrap();
         assert!(matches!(a.allocate(MB), Err(AllocError::OutOfSpace { .. })));
+    }
+
+    #[test]
+    fn rebuild_restores_live_set() {
+        let mut a = Ext4Sim::new(256 * MB, 128 * MB);
+        let e1 = a.allocate(4 * MB).unwrap();
+        let e2 = a.allocate(8 * MB).unwrap();
+        let e3 = a.allocate(16 * MB).unwrap();
+        a.rebuild(&[e1, e3]);
+        assert_eq!(a.allocated_bytes(), 20 * MB);
+        // e2's bytes are free again and must not overlap new allocations
+        // with the survivors.
+        let total_free: u64 = a.free_regions().iter().map(|e| e.len).sum();
+        assert_eq!(total_free, 256 * MB - 20 * MB);
+        assert!(a.free_regions().iter().any(|f| f.offset == e2.offset));
+        a.free(e1);
+        a.free(e3);
+        assert_eq!(a.allocated_bytes(), 0);
     }
 
     #[test]

@@ -107,6 +107,28 @@ impl Allocator for FixedBandAlloc {
     fn name(&self) -> &'static str {
         "fixed-band"
     }
+
+    fn rebuild(&mut self, live: &[Extent]) {
+        // Every live allocation occupies exactly one band, so the band
+        // count is recoverable from the current population.
+        let bands = (self.free_bands.len() + self.live.len()) as u64;
+        self.free_bands = (0..bands).collect();
+        self.live.clear();
+        self.allocated = 0;
+        self.high_water = 0;
+        for ext in live {
+            let band = ext.offset / self.band_size;
+            assert_eq!(
+                ext.offset % self.band_size,
+                0,
+                "live extent {ext:?} is not band-aligned"
+            );
+            self.free_bands.remove(&band);
+            self.live.insert(ext.offset, ext.len);
+            self.allocated += ext.len;
+            self.high_water = self.high_water.max(ext.offset + self.band_size);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +176,25 @@ mod tests {
             a.allocate(MB),
             Err(AllocError::OutOfSpace { .. })
         ));
+    }
+
+    #[test]
+    fn rebuild_restores_live_set() {
+        let mut a = FixedBandAlloc::new(400 * MB, 40 * MB);
+        let e1 = a.allocate(10 * MB).unwrap();
+        let e2 = a.allocate(40 * MB).unwrap();
+        let e3 = a.allocate(20 * MB).unwrap();
+        a.free(e2);
+        a.rebuild(&[e1, e3]);
+        assert_eq!(a.allocated_bytes(), 30 * MB);
+        assert_eq!(a.free_band_count(), 8);
+        assert_eq!(a.internal_waste(), 50 * MB);
+        // e2's band is free again: the next full-band allocation fits.
+        let e = a.allocate(40 * MB).unwrap();
+        assert_eq!(e.offset, e2.offset);
+        a.free(e1);
+        a.free(e3);
+        assert_eq!(a.allocated_bytes(), 40 * MB);
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub trait Allocator: Send {
     /// Human-readable allocator name for reports.
     fn name(&self) -> &'static str;
 
+    /// Resets the allocator so that exactly `live` extents are allocated —
+    /// crash recovery re-learning the disk from the file store's surviving
+    /// metadata. Every extent in `live` must be one this allocator handed
+    /// out earlier (band-aligned for banded allocators); after the call,
+    /// each may be passed to [`Allocator::free`] without panicking.
+    /// Reservation bytes (guards) attached to allocations *not* in `live`
+    /// may be forgotten rather than recycled: the space is simply never
+    /// handed out again, which is safe, merely conservative.
+    fn rebuild(&mut self, live: &[Extent]);
+
     /// Dynamic-band snapshot: (band extent, live allocations inside), for
     /// allocators that track bands (Fig. 13). Default: none.
     fn band_snapshot(&self) -> Vec<(Extent, usize)> {

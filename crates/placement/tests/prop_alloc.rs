@@ -1,31 +1,54 @@
-//! Property tests for the allocators, including the central safety claim
-//! of the paper's dynamic band management: driving a raw HM-SMR disk
-//! through `DynamicBandAlloc` never violates the shingle contract —
+//! Randomized tests for the allocators, including the central safety
+//! claim of the paper's dynamic band management: driving a raw HM-SMR
+//! disk through `DynamicBandAlloc` never violates the shingle contract —
 //! "subsequent valid data will not be overlapped and no auxiliary write
 //! amplification is caused".
+//!
+//! Seeded xorshift generation instead of a property-testing framework:
+//! the build must work without network access, and fixed seeds make
+//! every failure directly reproducible.
 
 use placement::{Allocator, DynamicBandAlloc, Ext4Sim, FixedBandAlloc};
-use proptest::prelude::*;
 use smr_sim::{Disk, Extent, IoKind, Layout, TimeModel};
 
 const MB: u64 = 1 << 20;
 
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Op {
-    /// Allocate a region of (units * quarter-SSTable) bytes.
+    /// Allocate a region of (units * unit) bytes.
     Alloc(u64),
     /// Free the i-th live allocation (mod live count).
     Free(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1..24u64).prop_map(Op::Alloc),
-            (0..64usize).prop_map(Op::Free),
-        ],
-        1..80,
-    )
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let count = 1 + rng.below(79) as usize;
+    (0..count)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Op::Alloc(1 + rng.below(23))
+            } else {
+                Op::Free(rng.below(64) as usize)
+            }
+        })
+        .collect()
 }
 
 /// Drives an allocator with a random op sequence; returns live extents.
@@ -49,18 +72,22 @@ fn drive(alloc: &mut dyn Allocator, ops: &[Op], unit: u64) -> Vec<Extent> {
     live
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Dynamic band management never faults the raw SMR disk: every write
-    /// into a freshly allocated region (and the Eq. 1 guard policy) keeps
-    /// valid data intact, and data reads back exactly.
-    #[test]
-    fn dynamic_band_never_faults_raw_smr(ops in ops()) {
+/// Dynamic band management never faults the raw SMR disk: every write
+/// into a freshly allocated region (and the Eq. 1 guard policy) keeps
+/// valid data intact, and data reads back exactly.
+#[test]
+fn dynamic_band_never_faults_raw_smr() {
+    let mut rng = Rng::new(0xA110C);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng);
         let sst = 4 * MB;
         let cap = 4096 * MB;
         let mut alloc = DynamicBandAlloc::new(cap, sst, sst);
-        let mut disk = Disk::new(cap, Layout::RawHmSmr { guard_bytes: sst }, TimeModel::smr_st5000as0011(cap));
+        let mut disk = Disk::new(
+            cap,
+            Layout::RawHmSmr { guard_bytes: sst },
+            TimeModel::smr_st5000as0011(cap),
+        );
         let mut live: Vec<(Extent, u8)> = Vec::new();
         let mut stamp = 0u8;
         for op in &ops {
@@ -86,17 +113,21 @@ proptest! {
         // All live regions still read back with their fill byte.
         for (ext, fill) in live {
             let back = disk.read(ext, IoKind::Raw).unwrap();
-            prop_assert!(back.iter().all(|&b| b == fill));
+            assert!(back.iter().all(|&b| b == fill), "ops {ops:?}");
         }
         // Raw layout means zero auxiliary write amplification.
         let c = disk.stats().kind(IoKind::Raw);
-        prop_assert_eq!(c.device_written, c.logical_written);
+        assert_eq!(c.device_written, c.logical_written, "ops {ops:?}");
     }
+}
 
-    /// No allocator ever hands out overlapping live extents, and byte
-    /// accounting stays exact.
-    #[test]
-    fn allocators_never_overlap(ops in ops()) {
+/// No allocator ever hands out overlapping live extents, and byte
+/// accounting stays exact.
+#[test]
+fn allocators_never_overlap() {
+    let mut rng = Rng::new(0x0E4A);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng);
         let unit = MB;
         let cap = 4096 * MB;
         let mut allocators: Vec<Box<dyn Allocator>> = vec![
@@ -109,44 +140,50 @@ proptest! {
             let mut sorted = live.clone();
             sorted.sort();
             for pair in sorted.windows(2) {
-                prop_assert!(
+                assert!(
                     pair[0].end() <= pair[1].offset,
-                    "{} produced overlapping extents {:?} {:?}",
-                    alloc.name(), pair[0], pair[1]
+                    "{} produced overlapping extents {:?} {:?} for ops {ops:?}",
+                    alloc.name(),
+                    pair[0],
+                    pair[1]
                 );
             }
             let total: u64 = live.iter().map(|e| e.len).sum();
-            prop_assert_eq!(alloc.allocated_bytes(), total, "{} accounting", alloc.name());
+            assert_eq!(alloc.allocated_bytes(), total, "{} accounting", alloc.name());
             for e in &live {
-                prop_assert!(e.end() <= alloc.high_water());
+                assert!(e.end() <= alloc.high_water());
             }
         }
     }
+}
 
-    /// Dynamic-band free-pool conservation: allocated + pool + untouched
-    /// residual space never exceeds capacity, and freeing everything
-    /// returns every recycled byte to the pool.
-    #[test]
-    fn dynamic_band_conservation(ops in ops()) {
+/// Dynamic-band free-pool conservation: allocated + pool + untouched
+/// residual space never exceeds capacity, and freeing everything
+/// returns every recycled byte to the pool.
+#[test]
+fn dynamic_band_conservation() {
+    let mut rng = Rng::new(0xC0 << 8);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng);
         let sst = 4 * MB;
         let cap = 4096 * MB;
         let mut alloc = DynamicBandAlloc::new(cap, sst, sst);
         let live = drive(&mut alloc, &ops, MB);
-        prop_assert!(alloc.frontier() <= cap);
+        assert!(alloc.frontier() <= cap);
         // Everything inside the banded region is either live data,
         // reserved guard bytes, or pool free space.
-        prop_assert!(alloc.allocated_bytes() + alloc.free_pool_bytes() <= alloc.frontier());
+        assert!(alloc.allocated_bytes() + alloc.free_pool_bytes() <= alloc.frontier());
         let frontier = alloc.frontier();
         for e in live {
             alloc.free(e);
         }
-        prop_assert_eq!(alloc.allocated_bytes(), 0);
+        assert_eq!(alloc.allocated_bytes(), 0);
         // With nothing live, the whole banded region is one coalesced
         // free run (guards were recycled with their owners).
         if frontier > 0 {
             let regions = alloc.free_regions();
-            prop_assert_eq!(regions.len(), 1);
-            prop_assert_eq!(regions[0], Extent::new(0, frontier));
+            assert_eq!(regions.len(), 1, "ops {ops:?}");
+            assert_eq!(regions[0], Extent::new(0, frontier));
         }
     }
 }

@@ -131,6 +131,18 @@ impl PlacementPolicy for SetPolicy {
         self.alloc.as_ref()
     }
 
+    fn rebuild(&mut self, live: &[(lsm_core::types::FileId, Extent)]) {
+        let exts: Vec<Extent> = live.iter().map(|&(_, e)| e).collect();
+        self.alloc.rebuild(&exts);
+        // Set grouping does not survive a power cut: every survivor
+        // restarts as a single-member region, so a later delete of the
+        // file frees exactly the extent the allocator relearned above.
+        self.registry = SetRegistry::new();
+        for &(file, ext) in live {
+            self.registry.register(ext, vec![file], false);
+        }
+    }
+
     fn set_stats(&self) -> Option<SetStats> {
         Some(self.registry.stats())
     }

@@ -112,12 +112,30 @@ impl Store {
     }
 
     /// Simulates a crash + restart: rebuilds the version set from the
-    /// manifest and replays the WAL (buffered, unsynced WAL bytes are
-    /// lost, like a real `sync=false` LevelDB).
+    /// manifest (falling back to its last consistent prefix), replays
+    /// the WAL with skip-and-report on torn records (buffered, unsynced
+    /// WAL bytes are lost, like a real `sync=false` LevelDB), and
+    /// quarantines any version file that fails table validation rather
+    /// than letting it load-bear reads.
     pub fn reopen(self) -> Result<Store> {
+        let mut db = self.db.reopen()?;
+        db.quarantine_invalid_files()?;
         Ok(Store {
             kind: self.kind,
-            db: self.db.reopen()?,
+            db,
+        })
+    }
+
+    /// Simulates a power cut at the moment `image` was captured: the
+    /// disk reverts to the snapshot, the placement policy relearns the
+    /// surviving extents, and the usual crash recovery runs on the
+    /// restored state (see [`DbCore::restore_crash_image`]).
+    pub fn restore_crash_image(self, image: &lsm_core::CrashImage) -> Result<Store> {
+        let mut db = self.db.restore_crash_image(image)?;
+        db.quarantine_invalid_files()?;
+        Ok(Store {
+            kind: self.kind,
+            db,
         })
     }
 

@@ -19,6 +19,7 @@
 
 use crate::error::{DiskError, DiskResult};
 use crate::extent::{Extent, ExtentSet};
+use crate::fault::{FaultPlan, WriteFault};
 use crate::stats::{IoKind, IoStats};
 use crate::store::SparseStore;
 use crate::timemodel::TimeModel;
@@ -79,6 +80,32 @@ struct BandState {
     cursor: u64,
 }
 
+/// A copy-on-write image of a disk's persistent state at one write
+/// boundary: contents, valid-extent set, band write pointers and
+/// media-cache occupancy. Cheap to take (chunks are shared until
+/// modified) so the crash-point harness can capture one every Kth write
+/// and later "power-cut" the disk back to it with [`Disk::restore`].
+///
+/// Volatile state — the simulated clock, statistics, traces and the
+/// read-ahead segments — is deliberately *not* part of the image: a
+/// power cut does not rewind time.
+#[derive(Clone)]
+pub struct DiskSnapshot {
+    write_index: u64,
+    store: SparseStore,
+    valid: ExtentSet,
+    bands: HashMap<u64, BandState>,
+    cache_used: u64,
+    dirty_bands: HashMap<u64, u64>,
+}
+
+impl DiskSnapshot {
+    /// Number of writes the disk had completed when this image was taken.
+    pub fn write_index(&self) -> u64 {
+        self.write_index
+    }
+}
+
 /// A simulated disk.
 pub struct Disk {
     capacity: u64,
@@ -108,6 +135,13 @@ pub struct Disk {
     cleanings: u64,
     /// Fault injection: remaining writes before the disk starts failing.
     writes_until_failure: Option<u64>,
+    /// Seeded fault-injection plan (torn writes, read corruption,
+    /// transient read errors, snapshot cadence).
+    faults: FaultPlan,
+    /// Successfully completed writes, driving the snapshot cadence.
+    write_index: u64,
+    /// Automatic crash-point snapshots pending collection.
+    auto_snaps: Vec<DiskSnapshot>,
 }
 
 impl Disk {
@@ -135,6 +169,9 @@ impl Disk {
             dirty_bands: HashMap::new(),
             cleanings: 0,
             writes_until_failure: None,
+            faults: FaultPlan::default(),
+            write_index: 0,
+            auto_snaps: Vec::new(),
         }
     }
 
@@ -243,14 +280,90 @@ impl Disk {
         self.writes_until_failure = n;
     }
 
+    /// The installed fault-injection plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable access to the fault-injection plan (arm/disarm faults).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Number of writes completed successfully since creation. Torn or
+    /// refused writes do not count; this is the index auto-snapshots and
+    /// crash-point sweeps are keyed on.
+    pub fn writes_issued(&self) -> u64 {
+        self.write_index
+    }
+
+    /// Takes a copy-on-write snapshot of the disk's persistent state.
+    pub fn snapshot(&self) -> DiskSnapshot {
+        DiskSnapshot {
+            write_index: self.write_index,
+            store: self.store.clone(),
+            valid: self.valid.clone(),
+            bands: self.bands.clone(),
+            cache_used: self.cache_used,
+            dirty_bands: self.dirty_bands.clone(),
+        }
+    }
+
+    /// Restores the disk's persistent state from `snap`, as if power was
+    /// cut right after the snapshot's write and the machine rebooted.
+    /// The clock and statistics keep advancing monotonically (a crash
+    /// does not rewind time); the read-ahead segments are cold again.
+    pub fn restore(&mut self, snap: &DiskSnapshot) {
+        self.store = snap.store.clone();
+        self.valid = snap.valid.clone();
+        self.bands = snap.bands.clone();
+        self.cache_used = snap.cache_used;
+        self.dirty_bands = snap.dirty_bands.clone();
+        self.write_index = snap.write_index;
+        self.read_streams.clear();
+        self.head = 0;
+    }
+
+    /// Drains the automatic crash-point snapshots accumulated so far
+    /// (enabled via [`FaultPlan::snapshot_every`]).
+    pub fn take_crash_snapshots(&mut self) -> Vec<DiskSnapshot> {
+        std::mem::take(&mut self.auto_snaps)
+    }
+
     fn consume_write_budget(&mut self) -> DiskResult<()> {
         if let Some(left) = self.writes_until_failure.as_mut() {
             if *left == 0 {
+                self.stats.faults.injected_write_failures += 1;
                 return Err(DiskError::Injected);
             }
             *left -= 1;
         }
         Ok(())
+    }
+
+    /// Bookkeeping after a successful host write: advances the write
+    /// index and captures an automatic snapshot when one is due.
+    fn note_write_complete(&mut self) {
+        self.write_index += 1;
+        if self.faults.snapshot_due(self.write_index) {
+            self.auto_snaps.push(self.snapshot());
+        }
+    }
+
+    /// Performs an injected torn write: only `persist` bytes of the
+    /// extent reach the platter, yet the whole extent is marked valid —
+    /// the drive acknowledged sectors it never persisted, so the stale
+    /// suffix must be caught by host-side checksums, not by a device
+    /// error. Bypasses layout legality checks (the engine only issues
+    /// layout-legal writes; the fault models the *device* dying
+    /// mid-transfer, not the host misbehaving).
+    fn perform_torn_write(&mut self, ext: Extent, data: &[u8], persist: u64) -> DiskResult<()> {
+        if persist > 0 {
+            self.store.write(ext.offset, &data[..persist as usize]);
+        }
+        self.valid.insert(ext);
+        self.stats.faults.torn_writes += 1;
+        Err(DiskError::TornWrite { ext })
     }
 
     fn check_range(&self, ext: Extent) -> DiskResult<()> {
@@ -269,6 +382,10 @@ impl Disk {
         self.check_range(ext)?;
         if !self.valid.covers(ext) {
             return Err(DiskError::ReadUnwritten { ext });
+        }
+        if self.faults.on_read(ext) {
+            self.stats.faults.transient_read_errors += 1;
+            return Err(DiskError::TransientRead { ext });
         }
         // Segmented read-ahead: a read continuing a live stream is served
         // from the track buffer at transfer speed.
@@ -304,7 +421,11 @@ impl Disk {
         self.clock_ns += t;
         self.stats.record_read(kind, ext.len, ext.len, t);
         self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Read, kind);
-        Ok(self.store.read_vec(ext.offset, ext.len as usize))
+        let mut buf = self.store.read_vec(ext.offset, ext.len as usize);
+        if self.faults.corrupt_buf(ext, &mut buf) > 0 {
+            self.stats.faults.read_corruptions += 1;
+        }
+        Ok(buf)
     }
 
     /// Writes `data` at `ext` (lengths must match). Layout rules apply; see
@@ -316,6 +437,14 @@ impl Disk {
             return Ok(());
         }
         self.consume_write_budget()?;
+        match self.faults.on_write(ext.len) {
+            WriteFault::None => {}
+            WriteFault::Torn { persist } => return self.perform_torn_write(ext, data, persist),
+            WriteFault::PowerLost => {
+                self.stats.faults.injected_write_failures += 1;
+                return Err(DiskError::Injected);
+            }
+        }
         match self.layout {
             Layout::Hdd => self.write_hdd(ext, data, kind),
             Layout::FixedBand { band_size } => self.write_fixed_band(ext, data, kind, band_size),
@@ -324,7 +453,9 @@ impl Disk {
                 band_size,
                 media_cache_bytes,
             } => self.write_ha_smr(ext, data, kind, band_size, media_cache_bytes),
-        }
+        }?;
+        self.note_write_complete();
+        Ok(())
     }
 
     fn write_ha_smr(
@@ -545,12 +676,21 @@ impl Disk {
             return Ok(());
         }
         self.consume_write_budget()?;
+        match self.faults.on_write(ext.len) {
+            WriteFault::None => {}
+            WriteFault::Torn { persist } => return self.perform_torn_write(ext, data, persist),
+            WriteFault::PowerLost => {
+                self.stats.faults.injected_write_failures += 1;
+                return Err(DiskError::Injected);
+            }
+        }
         let t = CONV_WRITE_OVERHEAD_NS + TimeModel::xfer_ns(ext.len, self.model.write_bps);
         self.clock_ns += t;
         self.stats.record_write(kind, ext.len, ext.len, t);
         self.store.write(ext.offset, data);
         self.valid.insert(ext);
         self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.note_write_complete();
         Ok(())
     }
 
@@ -616,7 +756,7 @@ mod tests {
 
     #[test]
     fn out_of_range_faults() {
-        let mut d = Disk::new(1 * MB, Layout::Hdd, model(1 * MB));
+        let mut d = Disk::new(MB, Layout::Hdd, model(MB));
         let err = d
             .write(Extent::new(MB - 10, 20), &data(20), IoKind::Raw)
             .unwrap_err();
@@ -795,6 +935,120 @@ mod tests {
                 .unwrap();
         }
         assert!(scat.clock_ns() > seq.clock_ns());
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_stays_down() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        d.faults_mut().tear_write_after(1);
+        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw).unwrap();
+        let err = d
+            .write(Extent::new(1000, 1000), &vec![0xAB; 1000], IoKind::Raw)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DiskError::TornWrite {
+                ext: Extent::new(1000, 1000)
+            }
+        );
+        assert_eq!(d.stats().faults.torn_writes, 1);
+        // The extent is valid (the drive acked it) but only a prefix holds
+        // the new bytes; the suffix reads as zero.
+        let back = d.read(Extent::new(1000, 1000), IoKind::Raw).unwrap();
+        let persisted = back.iter().take_while(|&&b| b == 0xAB).count();
+        assert!(persisted < 1000);
+        assert!(back[persisted..].iter().all(|&b| b == 0));
+        // Power stays lost until disarmed.
+        assert_eq!(
+            d.write(Extent::new(2000, 10), &data(10), IoKind::Raw).unwrap_err(),
+            DiskError::Injected
+        );
+        assert!(d.stats().faults.injected_write_failures >= 1);
+        d.faults_mut().disarm_torn_writes();
+        d.write(Extent::new(2000, 10), &data(10), IoKind::Raw).unwrap();
+    }
+
+    #[test]
+    fn transient_read_fails_once_then_succeeds() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        let payload = data(4096);
+        d.write(Extent::new(0, 4096), &payload, IoKind::Raw).unwrap();
+        d.faults_mut().fail_reads_transiently(1);
+        let err = d.read(Extent::new(0, 4096), IoKind::Raw).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(d.stats().faults.transient_read_errors, 1);
+        assert_eq!(d.read(Extent::new(0, 4096), IoKind::Raw).unwrap(), payload);
+    }
+
+    #[test]
+    fn read_corruption_flips_bits_in_registered_extent() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        let payload = data(8192);
+        d.write(Extent::new(0, 8192), &payload, IoKind::Raw).unwrap();
+        d.faults_mut().corrupt_extent(Extent::new(0, 8192));
+        let back = d.read(Extent::new(0, 8192), IoKind::Raw).unwrap();
+        assert_ne!(back, payload);
+        assert_eq!(d.stats().faults.read_corruptions, 1);
+        // Deterministic: the same read sees the same corruption.
+        let again = d.read(Extent::new(0, 8192), IoKind::Raw).unwrap();
+        assert_eq!(back, again);
+        // Unregistered regions are untouched.
+        d.write(Extent::new(MB, 100), &data(100), IoKind::Raw).unwrap();
+        assert_eq!(d.read(Extent::new(MB, 100), IoKind::Raw).unwrap(), data(100));
+    }
+
+    #[test]
+    fn snapshot_restore_power_cuts_the_disk() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        d.write(Extent::new(0, 100), &[1u8; 100], IoKind::Raw).unwrap();
+        let snap = d.snapshot();
+        assert_eq!(snap.write_index(), 1);
+        d.write(Extent::new(0, 100), &[2u8; 100], IoKind::Raw).unwrap();
+        d.write(Extent::new(200, 100), &[3u8; 100], IoKind::Raw).unwrap();
+        let clock_before = d.clock_ns();
+        d.restore(&snap);
+        // Contents and validity roll back; time does not.
+        assert_eq!(d.read(Extent::new(0, 100), IoKind::Raw).unwrap(), vec![1u8; 100]);
+        assert!(d.read(Extent::new(200, 100), IoKind::Raw).is_err());
+        assert!(d.clock_ns() >= clock_before);
+        assert_eq!(d.writes_issued(), 1);
+    }
+
+    #[test]
+    fn auto_snapshots_every_kth_write() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        d.faults_mut().snapshot_every(2);
+        for i in 0..7u64 {
+            d.write(Extent::new(i * 1000, 100), &data(100), IoKind::Raw).unwrap();
+        }
+        let snaps = d.take_crash_snapshots();
+        assert_eq!(
+            snaps.iter().map(|s| s.write_index()).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+        assert!(d.take_crash_snapshots().is_empty());
+        // Each snapshot replays to exactly its prefix of writes.
+        d.restore(&snaps[1]);
+        assert!(d.read(Extent::new(3 * 1000, 100), IoKind::Raw).is_ok());
+        assert!(d.read(Extent::new(4 * 1000, 100), IoKind::Raw).is_err());
+    }
+
+    #[test]
+    fn fixed_band_snapshot_restores_write_pointers() {
+        let bs = 4 * MB;
+        let mut d = Disk::new(
+            100 * MB,
+            Layout::FixedBand { band_size: bs },
+            model(100 * MB),
+        );
+        d.write(Extent::new(0, MB), &data(MB), IoKind::Flush).unwrap();
+        let snap = d.snapshot();
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush).unwrap();
+        d.restore(&snap);
+        assert_eq!(d.band_write_pointer(0), Some(MB));
+        // Appending at the restored write pointer is penalty-free.
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush).unwrap();
+        assert_eq!(d.stats().band_rmw_events, 0);
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub enum DiskError {
     ReadUnwritten { ext: Extent },
     /// Injected failure (fault-injection testing).
     Injected,
+    /// An injected torn write: the drive acknowledged `ext` but persisted
+    /// only a prefix of it before dying, so the extent reads back with a
+    /// stale suffix that host-side checksums must catch.
+    TornWrite { ext: Extent },
+    /// An injected *transient* read error (latent sector error that a
+    /// retry recovers): re-issuing the same read succeeds.
+    TransientRead { ext: Extent },
+}
+
+impl DiskError {
+    /// True for errors a caller should retry once before giving up.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DiskError::TransientRead { .. })
+    }
 }
 
 impl fmt::Display for DiskError {
@@ -41,6 +55,12 @@ impl fmt::Display for DiskError {
                 write!(f, "read {ext:?} touches unwritten bytes")
             }
             DiskError::Injected => write!(f, "injected write failure"),
+            DiskError::TornWrite { ext } => {
+                write!(f, "torn write at {ext:?} (prefix persisted, power lost)")
+            }
+            DiskError::TransientRead { ext } => {
+                write!(f, "transient read error at {ext:?} (retry should succeed)")
+            }
         }
     }
 }

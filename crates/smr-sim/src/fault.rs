@@ -1,0 +1,297 @@
+//! Deterministic fault injection for the simulated disk.
+//!
+//! A [`FaultPlan`] is seeded and fully reproducible: the same plan
+//! against the same workload injects byte-identical faults on every
+//! run. Four fault classes model how SMR deployments actually fail —
+//! dirtier than a clean "refuse all writes":
+//!
+//! * **Torn writes** — a power cut mid-write persists only a prefix of
+//!   the extent. The sim marks the whole extent valid (the drive *acked
+//!   sectors it never persisted*), so the stale/zero suffix is caught by
+//!   host-side CRC validation, not by a tidy device error.
+//! * **Read-time corruption** — seeded bit-flips in registered extents,
+//!   modelling latent sector bit-rot that only surfaces at read time.
+//! * **Transient read errors** — a read fails once with
+//!   [`crate::DiskError::TransientRead`]; re-issuing the same read
+//!   succeeds, so hosts that retry recover.
+//! * **Crash-point snapshots** — the disk takes a cheap copy-on-write
+//!   snapshot of its state every Kth write, letting a harness "power
+//!   cut" at arbitrary write boundaries and reopen from each image.
+//!
+//! The plan only decides *whether and how* to inject; the [`crate::Disk`]
+//! performs the injection and counts it in [`crate::stats::FaultStats`].
+
+use crate::extent::Extent;
+use std::collections::HashSet;
+
+/// Deterministic xorshift64 used to derive injection positions from the
+/// plan's seed. Self-contained so `smr-sim` stays dependency-free.
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: decorrelates consecutive/structured inputs.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Verdict the plan hands the disk for one write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WriteFault {
+    /// No injection: perform the write normally.
+    None,
+    /// Tear this write: persist only `persist` bytes of the extent, mark
+    /// the whole extent valid, and fail the operation.
+    Torn { persist: u64 },
+    /// Power already lost (a torn write fired earlier): refuse outright.
+    PowerLost,
+}
+
+/// A seeded, reproducible fault-injection plan installed on a
+/// [`crate::Disk`] via [`crate::Disk::faults_mut`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Writes remaining before the next write is torn.
+    torn_countdown: Option<u64>,
+    /// A torn write already fired: all later writes fail until disarm.
+    power_lost: bool,
+    /// Extents whose reads come back with seeded bit-flips.
+    corrupt: Vec<Extent>,
+    /// Reads remaining to fail transiently (first attempt per offset).
+    transient_budget: u64,
+    /// Offsets that already failed once (their retry succeeds).
+    transient_seen: HashSet<u64>,
+    /// Take a disk snapshot every `k` completed writes.
+    snapshot_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Creates an inert plan with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The determinism seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Arms a torn write: the next `n` writes succeed, the one after
+    /// persists only a seeded prefix of its extent and fails, and every
+    /// write after that fails with [`crate::DiskError::Injected`] until
+    /// [`FaultPlan::disarm_torn_writes`] ("power restored").
+    pub fn tear_write_after(&mut self, n: u64) {
+        self.torn_countdown = Some(n);
+        self.power_lost = false;
+    }
+
+    /// Disarms torn-write injection; subsequent writes succeed again.
+    pub fn disarm_torn_writes(&mut self) {
+        self.torn_countdown = None;
+        self.power_lost = false;
+    }
+
+    /// True while a torn write is armed or has fired.
+    pub fn torn_write_pending(&self) -> bool {
+        self.torn_countdown.is_some() || self.power_lost
+    }
+
+    /// Registers an extent whose future reads return seeded bit-flips.
+    pub fn corrupt_extent(&mut self, ext: Extent) {
+        if !ext.is_empty() {
+            self.corrupt.push(ext);
+        }
+    }
+
+    /// Clears all registered read-corruption extents.
+    pub fn clear_corruption(&mut self) {
+        self.corrupt.clear();
+    }
+
+    /// Arms `n` transient read errors: the next `n` distinct read
+    /// offsets each fail once with [`crate::DiskError::TransientRead`];
+    /// retrying the same read succeeds.
+    pub fn fail_reads_transiently(&mut self, n: u64) {
+        self.transient_budget = n;
+        self.transient_seen.clear();
+    }
+
+    /// Enables automatic copy-on-write disk snapshots every `k` writes
+    /// (`k >= 1`). Snapshots accumulate on the disk until drained with
+    /// [`crate::Disk::take_crash_snapshots`].
+    pub fn snapshot_every(&mut self, k: u64) {
+        assert!(k >= 1, "snapshot interval must be at least 1");
+        self.snapshot_every = Some(k);
+    }
+
+    /// Disables automatic snapshots.
+    pub fn disable_snapshots(&mut self) {
+        self.snapshot_every = None;
+    }
+
+    /// Decides the fate of the next write of `len` bytes.
+    pub(crate) fn on_write(&mut self, len: u64) -> WriteFault {
+        if self.power_lost {
+            return WriteFault::PowerLost;
+        }
+        match self.torn_countdown.as_mut() {
+            None => WriteFault::None,
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                WriteFault::None
+            }
+            Some(_) => {
+                self.torn_countdown = None;
+                self.power_lost = true;
+                // Persist a seeded prefix: anywhere from 0 bytes to all
+                // but one ([0, len)), so sweeps exercise every boundary.
+                let persist = if len <= 1 {
+                    0
+                } else {
+                    mix(self.seed ^ len) % len
+                };
+                WriteFault::Torn { persist }
+            }
+        }
+    }
+
+    /// Decides whether a read of `ext` fails transiently right now.
+    pub(crate) fn on_read(&mut self, ext: Extent) -> bool {
+        if self.transient_budget == 0 || self.transient_seen.contains(&ext.offset) {
+            return false;
+        }
+        self.transient_budget -= 1;
+        self.transient_seen.insert(ext.offset);
+        true
+    }
+
+    /// Applies seeded bit-flips to `buf` (the bytes just read from
+    /// `ext`) wherever it overlaps a registered corrupt extent. Returns
+    /// the number of bits flipped. Deterministic: the same read always
+    /// sees the same corruption.
+    pub(crate) fn corrupt_buf(&self, ext: Extent, buf: &mut [u8]) -> u64 {
+        let mut flipped = 0u64;
+        for reg in &self.corrupt {
+            let start = reg.offset.max(ext.offset);
+            let end = reg.end().min(ext.end());
+            if start >= end {
+                continue;
+            }
+            // One flip per 4 KiB of overlap, at least one: enough to
+            // break any CRC without wholesale trashing the buffer.
+            let overlap = end - start;
+            let flips = 1 + overlap / 4096;
+            for i in 0..flips {
+                let h = mix(self.seed ^ reg.offset.rotate_left(17) ^ i);
+                let pos = start + h % overlap;
+                let bit = (h >> 32) % 8;
+                buf[(pos - ext.offset) as usize] ^= 1 << bit;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// True when a snapshot is due after the `write_index`-th write.
+    pub(crate) fn snapshot_due(&self, write_index: u64) -> bool {
+        match self.snapshot_every {
+            Some(k) => write_index.is_multiple_of(k),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_write_fires_once_then_power_stays_lost() {
+        let mut p = FaultPlan::new(42);
+        p.tear_write_after(2);
+        assert_eq!(p.on_write(100), WriteFault::None);
+        assert_eq!(p.on_write(100), WriteFault::None);
+        let fault = p.on_write(100);
+        match fault {
+            WriteFault::Torn { persist } => assert!(persist < 100),
+            other => panic!("expected torn write, got {other:?}"),
+        }
+        assert_eq!(p.on_write(100), WriteFault::PowerLost);
+        assert_eq!(p.on_write(50), WriteFault::PowerLost);
+        p.disarm_torn_writes();
+        assert_eq!(p.on_write(100), WriteFault::None);
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_per_seed() {
+        let persist = |seed: u64| {
+            let mut p = FaultPlan::new(seed);
+            p.tear_write_after(0);
+            match p.on_write(4096) {
+                WriteFault::Torn { persist } => persist,
+                other => panic!("expected torn write, got {other:?}"),
+            }
+        };
+        assert_eq!(persist(7), persist(7));
+        // Different seeds land different crash points (overwhelmingly).
+        assert_ne!(persist(7), persist(8));
+    }
+
+    #[test]
+    fn transient_reads_fail_once_per_offset() {
+        let mut p = FaultPlan::new(1);
+        p.fail_reads_transiently(2);
+        let a = Extent::new(0, 512);
+        let b = Extent::new(4096, 512);
+        let c = Extent::new(8192, 512);
+        assert!(p.on_read(a)); // fails
+        assert!(!p.on_read(a)); // retry succeeds
+        assert!(p.on_read(b)); // second budgeted failure
+        assert!(!p.on_read(b));
+        assert!(!p.on_read(c)); // budget exhausted
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically_within_overlap() {
+        let p = {
+            let mut p = FaultPlan::new(99);
+            p.corrupt_extent(Extent::new(1000, 100));
+            p
+        };
+        let read = Extent::new(900, 300);
+        let mut buf1 = vec![0u8; 300];
+        let n1 = p.corrupt_buf(read, &mut buf1);
+        assert!(n1 > 0);
+        // Flips stay inside the registered overlap [1000, 1100).
+        for (i, &b) in buf1.iter().enumerate() {
+            if b != 0 {
+                let abs = 900 + i as u64;
+                assert!((1000..1100).contains(&abs), "flip outside overlap at {abs}");
+            }
+        }
+        // Same read, same corruption.
+        let mut buf2 = vec![0u8; 300];
+        let n2 = p.corrupt_buf(read, &mut buf2);
+        assert_eq!(n1, n2);
+        assert_eq!(buf1, buf2);
+        // A read that misses the extent is untouched.
+        let mut clean = vec![0u8; 64];
+        assert_eq!(p.corrupt_buf(Extent::new(0, 64), &mut clean), 0);
+        assert!(clean.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn snapshot_cadence() {
+        let mut p = FaultPlan::new(0);
+        assert!(!p.snapshot_due(5));
+        p.snapshot_every(3);
+        assert!(p.snapshot_due(3));
+        assert!(!p.snapshot_due(4));
+        assert!(p.snapshot_due(6));
+        p.disable_snapshots();
+        assert!(!p.snapshot_due(6));
+    }
+}

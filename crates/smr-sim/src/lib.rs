@@ -32,14 +32,16 @@
 pub mod disk;
 pub mod error;
 pub mod extent;
+pub mod fault;
 pub mod stats;
 pub mod store;
 pub mod timemodel;
 pub mod trace;
 
-pub use disk::{Disk, Layout};
+pub use disk::{Disk, DiskSnapshot, Layout};
 pub use error::{DiskError, DiskResult};
 pub use extent::{Extent, ExtentSet};
-pub use stats::{IoKind, IoStats, KindCounters};
+pub use fault::FaultPlan;
+pub use stats::{FaultStats, IoKind, IoStats, KindCounters};
 pub use timemodel::TimeModel;
 pub use trace::{TraceDir, TraceEvent, TraceRecorder};

@@ -80,6 +80,38 @@ pub struct KindCounters {
     pub time_ns: u64,
 }
 
+/// Fault-path activity: injected faults and how the stack above reacted.
+/// The disk counts what it injects; the engine counts retries and
+/// checksum verdicts, so bench runs can report fault-path coverage.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FaultStats {
+    /// Writes refused outright by injection (`DiskError::Injected`).
+    pub injected_write_failures: u64,
+    /// Torn writes: only a prefix of the extent reached the platter.
+    pub torn_writes: u64,
+    /// Reads whose returned bytes had injected bit-flips.
+    pub read_corruptions: u64,
+    /// Injected transient read errors (`DiskError::TransientRead`).
+    pub transient_read_errors: u64,
+    /// Read retries issued by the host after a transient error.
+    pub read_retries: u64,
+    /// Checksum validation failures detected by the host (WAL fragments,
+    /// SSTable blocks, manifest records).
+    pub checksum_failures: u64,
+}
+
+impl FaultStats {
+    /// True if any fault-path counter is non-zero.
+    pub fn any(&self) -> bool {
+        self.injected_write_failures != 0
+            || self.torn_writes != 0
+            || self.read_corruptions != 0
+            || self.transient_read_errors != 0
+            || self.read_retries != 0
+            || self.checksum_failures != 0
+    }
+}
+
 /// Aggregated I/O statistics for one disk.
 #[derive(Clone, Default, Debug)]
 pub struct IoStats {
@@ -91,6 +123,8 @@ pub struct IoStats {
     pub seeks: u64,
     /// Number of band read-modify-write events (fixed-band layout only).
     pub band_rmw_events: u64,
+    /// Fault-injection and recovery-path counters.
+    pub faults: FaultStats,
 }
 
 impl IoStats {
@@ -216,7 +250,21 @@ impl fmt::Display for IoStats {
             self.mwa(),
             self.seeks,
             self.band_rmw_events
-        )
+        )?;
+        if self.faults.any() {
+            let ft = &self.faults;
+            writeln!(
+                f,
+                "faults: injected-write {}  torn {}  read-corrupt {}  transient-read {}  retries {}  checksum-fail {}",
+                ft.injected_write_failures,
+                ft.torn_writes,
+                ft.read_corruptions,
+                ft.transient_read_errors,
+                ft.read_retries,
+                ft.checksum_failures
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -255,6 +303,19 @@ mod tests {
         assert_eq!(s.wa(), 0.0);
         assert_eq!(s.awa(), 0.0);
         assert_eq!(s.mwa(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_render_only_when_active() {
+        let mut s = IoStats::new();
+        assert!(!s.faults.any());
+        assert!(!format!("{s}").contains("faults:"));
+        s.faults.torn_writes += 1;
+        s.faults.read_retries += 2;
+        assert!(s.faults.any());
+        let text = format!("{s}");
+        assert!(text.contains("torn 1"));
+        assert!(text.contains("retries 2"));
     }
 
     #[test]

@@ -11,9 +11,14 @@ const CHUNK_SHIFT: u32 = 16;
 const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
 
 /// A sparse, chunked byte array. Unwritten bytes read as zero.
-#[derive(Default)]
+///
+/// Chunks are held behind `Arc` so cloning the store is a cheap
+/// copy-on-write snapshot (the crash-point fault-injection harness takes
+/// one at every Kth write): the clone shares every chunk until either
+/// side writes, at which point only the touched chunk is copied.
+#[derive(Default, Clone)]
 pub struct SparseStore {
-    chunks: std::collections::HashMap<u64, Box<[u8; CHUNK_SIZE]>>,
+    chunks: std::collections::HashMap<u64, std::sync::Arc<[u8; CHUNK_SIZE]>>,
 }
 
 impl SparseStore {
@@ -40,10 +45,11 @@ impl SparseStore {
             let chunk_idx = pos >> CHUNK_SHIFT;
             let within = (pos & ((CHUNK_SIZE as u64) - 1)) as usize;
             let n = rest.len().min(CHUNK_SIZE - within);
-            let chunk = self
-                .chunks
-                .entry(chunk_idx)
-                .or_insert_with(|| Box::new([0u8; CHUNK_SIZE]));
+            let chunk = std::sync::Arc::make_mut(
+                self.chunks
+                    .entry(chunk_idx)
+                    .or_insert_with(|| std::sync::Arc::new([0u8; CHUNK_SIZE])),
+            );
             chunk[within..within + n].copy_from_slice(&rest[..n]);
             pos += n as u64;
             rest = &rest[n..];
@@ -109,6 +115,20 @@ mod tests {
         s.write(0, b"aaaaaaaa");
         s.write(2, b"bb");
         assert_eq!(s.read_vec(0, 8), b"aabbaaaa");
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut s = SparseStore::new();
+        s.write(0, b"original");
+        let snap = s.clone();
+        // Writing to the live store must not bleed into the snapshot.
+        s.write(0, b"replaced");
+        assert_eq!(s.read_vec(0, 8), b"replaced");
+        assert_eq!(snap.read_vec(0, 8), b"original");
+        // Untouched chunks stay shared; only the written one was copied.
+        s.write(1 << 30, b"far");
+        assert_eq!(snap.read_vec(1 << 30, 3), vec![0u8; 3]);
     }
 
     #[test]

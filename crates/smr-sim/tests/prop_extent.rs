@@ -1,9 +1,28 @@
-//! Property tests: ExtentSet vs a naive bitmap model, and raw-SMR safety.
+//! Randomized tests: ExtentSet vs a naive bitmap model, and raw-SMR
+//! safety. Seeded xorshift generation instead of a property-testing
+//! framework so the build needs no external crates and every failure is
+//! reproducible from the printed op sequence.
 
-use proptest::prelude::*;
 use smr_sim::{Disk, DiskError, Extent, ExtentSet, IoKind, Layout, TimeModel};
 
 const UNIVERSE: u64 = 4096;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -11,71 +30,96 @@ enum Op {
     Remove(u64, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..UNIVERSE, 1..256u64).prop_map(|(o, l)| Op::Insert(o, l.min(UNIVERSE - o))),
-        (0..UNIVERSE, 1..256u64).prop_map(|(o, l)| Op::Remove(o, l.min(UNIVERSE - o))),
-    ]
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let count = 1 + rng.below(119) as usize;
+    (0..count)
+        .map(|_| {
+            let o = rng.below(UNIVERSE);
+            let l = (1 + rng.below(255)).min(UNIVERSE - o);
+            if rng.below(2) == 0 {
+                Op::Insert(o, l)
+            } else {
+                Op::Remove(o, l)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// ExtentSet agrees with a per-byte boolean model under arbitrary
-    /// insert/remove sequences, stays coalesced, and keeps its byte count
-    /// exact.
-    #[test]
-    fn extent_set_matches_bitmap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// ExtentSet agrees with a per-byte boolean model under arbitrary
+/// insert/remove sequences, stays coalesced, and keeps its byte count
+/// exact.
+#[test]
+fn extent_set_matches_bitmap() {
+    let mut rng = Rng::new(0xE87E);
+    for _case in 0..256 {
+        let ops = random_ops(&mut rng);
         let mut set = ExtentSet::new();
         let mut model = vec![false; UNIVERSE as usize];
-        for op in ops {
-            match op {
+        for op in &ops {
+            match *op {
                 Op::Insert(o, l) => {
                     set.insert(Extent::new(o, l));
-                    for b in &mut model[o as usize..(o + l) as usize] { *b = true; }
+                    for b in &mut model[o as usize..(o + l) as usize] {
+                        *b = true;
+                    }
                 }
                 Op::Remove(o, l) => {
                     set.remove(Extent::new(o, l));
-                    for b in &mut model[o as usize..(o + l) as usize] { *b = false; }
+                    for b in &mut model[o as usize..(o + l) as usize] {
+                        *b = false;
+                    }
                 }
             }
         }
         let expected: u64 = model.iter().filter(|&&b| b).count() as u64;
-        prop_assert_eq!(set.covered_bytes(), expected);
+        assert_eq!(set.covered_bytes(), expected, "ops {ops:?}");
         // Every stored extent must be fully set in the model, with clear
         // bytes on both flanks (i.e. the set is maximally coalesced).
         let mut prev_end = None;
         for e in set.iter() {
             for i in e.offset..e.end() {
-                prop_assert!(model[i as usize]);
+                assert!(model[i as usize], "ops {ops:?}");
             }
             if e.offset > 0 {
-                prop_assert!(!model[(e.offset - 1) as usize]);
+                assert!(!model[(e.offset - 1) as usize], "ops {ops:?}");
             }
             if e.end() < UNIVERSE {
-                prop_assert!(!model[e.end() as usize]);
+                assert!(!model[e.end() as usize], "ops {ops:?}");
             }
             if let Some(p) = prev_end {
-                prop_assert!(e.offset > p);
+                assert!(e.offset > p);
             }
             prev_end = Some(e.end());
         }
         // Spot-check point queries.
         for pos in [0u64, 1, UNIVERSE / 2, UNIVERSE - 1] {
-            prop_assert_eq!(set.containing(pos).is_some(), model[pos as usize]);
+            assert_eq!(set.containing(pos).is_some(), model[pos as usize]);
         }
     }
+}
 
-    /// On the raw HM-SMR layout, any sequence of writes and frees either
-    /// faults or leaves every valid byte readable with its exact contents:
-    /// the simulator never silently corrupts valid data.
-    #[test]
-    fn raw_smr_never_corrupts(writes in proptest::collection::vec((0..64u64, 1..8u64, 0..4u8), 1..60)) {
-        const BLK: u64 = 1 << 12;
+/// On the raw HM-SMR layout, any sequence of writes and frees either
+/// faults or leaves every valid byte readable with its exact contents:
+/// the simulator never silently corrupts valid data.
+#[test]
+fn raw_smr_never_corrupts() {
+    const BLK: u64 = 1 << 12;
+    let mut rng = Rng::new(0x5AFE);
+    for _case in 0..256 {
+        let count = 1 + rng.below(59) as usize;
+        let writes: Vec<(u64, u64, u8)> = (0..count)
+            .map(|_| (rng.below(64), 1 + rng.below(7), rng.below(4) as u8))
+            .collect();
         let guard = 2 * BLK;
         let cap = 80 * BLK;
-        let mut disk = Disk::new(cap, Layout::RawHmSmr { guard_bytes: guard }, TimeModel::smr_st5000as0011(cap));
+        let mut disk = Disk::new(
+            cap,
+            Layout::RawHmSmr { guard_bytes: guard },
+            TimeModel::smr_st5000as0011(cap),
+        );
         // Shadow of what is currently valid: offset -> (len, fill byte).
         let mut shadow: Vec<(u64, u64, u8)> = Vec::new();
-        for (blk, len_blks, action) in writes {
+        for &(blk, len_blks, action) in &writes {
             let off = blk * BLK;
             let len = (len_blks * BLK).min(cap - off);
             if action == 0 && !shadow.is_empty() {
@@ -91,36 +135,51 @@ proptest! {
                 Ok(()) => {
                     // Must not overlap any shadow entry (the disk enforced it).
                     for &(o, l, _) in &shadow {
-                        prop_assert!(!Extent::new(off, len).overlaps(&Extent::new(o, l)));
+                        assert!(
+                            !Extent::new(off, len).overlaps(&Extent::new(o, l)),
+                            "writes {writes:?}"
+                        );
                     }
                     shadow.push((off, len, fill));
                 }
-                Err(DiskError::WouldOverlapValid { .. }) | Err(DiskError::GuardViolation { .. }) => {}
-                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                Err(DiskError::WouldOverlapValid { .. })
+                | Err(DiskError::GuardViolation { .. }) => {}
+                Err(e) => panic!("unexpected error {e:?} for writes {writes:?}"),
             }
         }
         // All surviving shadow regions read back exactly.
         for (o, l, fill) in shadow {
             let back = disk.read(Extent::new(o, l), IoKind::Raw).unwrap();
-            prop_assert!(back.iter().all(|&b| b == fill));
+            assert!(back.iter().all(|&b| b == fill), "writes {writes:?}");
         }
     }
+}
 
-    /// Fixed-band accounting invariant: device-written bytes are always >=
-    /// logical bytes, and with strictly appending writes they are equal.
-    #[test]
-    fn fixed_band_device_at_least_logical(writes in proptest::collection::vec((0..32u64, 1..4u64), 1..40)) {
-        const BLK: u64 = 1 << 12;
+/// Fixed-band accounting invariant: device-written bytes are always >=
+/// logical bytes, and with strictly appending writes they are equal.
+#[test]
+fn fixed_band_device_at_least_logical() {
+    const BLK: u64 = 1 << 12;
+    let mut rng = Rng::new(0xF18A);
+    for _case in 0..256 {
+        let count = 1 + rng.below(39) as usize;
+        let writes: Vec<(u64, u64)> = (0..count)
+            .map(|_| (rng.below(32), 1 + rng.below(3)))
+            .collect();
         let cap = 64 * BLK;
-        let mut disk = Disk::new(cap, Layout::FixedBand { band_size: 8 * BLK }, TimeModel::smr_st5000as0011(cap));
-        for (blk, len_blks) in writes {
+        let mut disk = Disk::new(
+            cap,
+            Layout::FixedBand { band_size: 8 * BLK },
+            TimeModel::smr_st5000as0011(cap),
+        );
+        for &(blk, len_blks) in &writes {
             let off = blk * BLK;
             let len = (len_blks * BLK).min(cap - off);
             let data = vec![0xABu8; len as usize];
             disk.write(Extent::new(off, len), &data, IoKind::Raw).unwrap();
         }
         let c = disk.stats().kind(IoKind::Raw);
-        prop_assert!(c.device_written >= c.logical_written);
+        assert!(c.device_written >= c.logical_written, "writes {writes:?}");
     }
 }
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, complete test suite, lint-clean clippy.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,9 +1,10 @@
 //! Cross-store correctness: all four systems are the *same database*
 //! with different placement — so any operation sequence must produce
 //! identical observable results on every store, and must agree with an
-//! in-memory model (`BTreeMap`).
+//! in-memory model (`BTreeMap`). Seeded xorshift generation instead of a
+//! property-testing framework: no external crates, reproducible cases.
 
-use proptest::prelude::*;
+use lsm_core::util::rng::XorShift64;
 use sealdb::{StoreConfig, StoreKind};
 use std::collections::BTreeMap;
 
@@ -15,16 +16,19 @@ enum Op {
     Scan(u16, u8),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (0..400u16, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
-            1 => (0..400u16).prop_map(Op::Delete),
-            2 => (0..400u16).prop_map(Op::Get),
-            1 => (0..400u16, 1..20u8).prop_map(|(k, n)| Op::Scan(k, n)),
-        ],
-        1..200,
-    )
+fn random_ops(rng: &mut XorShift64) -> Vec<Op> {
+    let count = 1 + rng.next_below(199) as usize;
+    (0..count)
+        .map(|_| {
+            let k = rng.next_below(400) as u16;
+            match rng.next_below(8) {
+                0..=3 => Op::Put(k, rng.next_u64() as u8),
+                4 => Op::Delete(k),
+                5 | 6 => Op::Get(k),
+                _ => Op::Scan(k, 1 + rng.next_below(19) as u8),
+            }
+        })
+        .collect()
 }
 
 fn key(k: u16) -> Vec<u8> {
@@ -37,17 +41,15 @@ fn value(k: u16, v: u8) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_stores_agree_with_model(ops in ops()) {
+#[test]
+fn all_stores_agree_with_model() {
+    let mut rng = XorShift64::new(0x51035);
+    for _case in 0..24 {
+        let ops = random_ops(&mut rng);
         // Tiny tables force flushes and compactions inside the test.
         let mut stores: Vec<_> = StoreKind::ALL
             .iter()
-            .map(|&kind| {
-                StoreConfig::new(kind, 8 << 10, 256 << 20).build().expect("build")
-            })
+            .map(|&kind| StoreConfig::new(kind, 8 << 10, 256 << 20).build().expect("build"))
             .collect();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for op in &ops {
@@ -71,7 +73,7 @@ proptest! {
                     let expected = model.get(&kb).cloned();
                     for s in &mut stores {
                         let got = s.get(&kb).expect("get");
-                        prop_assert_eq!(&got, &expected, "{} get mismatch", s.name());
+                        assert_eq!(&got, &expected, "{} get mismatch", s.name());
                     }
                 }
                 Op::Scan(k, n) => {
@@ -83,7 +85,7 @@ proptest! {
                         .collect();
                     for s in &mut stores {
                         let got = s.scan(&kb, *n as usize).expect("scan");
-                        prop_assert_eq!(&got, &expected, "{} scan mismatch", s.name());
+                        assert_eq!(&got, &expected, "{} scan mismatch", s.name());
                     }
                 }
             }
@@ -91,10 +93,10 @@ proptest! {
         // Final full sweep after quiescing compactions.
         for s in &mut stores {
             s.flush().expect("flush");
-            let all = s.scan(b"", usize::MAX.min(1 << 20)).expect("full scan");
+            let all = s.scan(b"", 1 << 20).expect("full scan");
             let expected: Vec<(Vec<u8>, Vec<u8>)> =
                 model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
-            prop_assert_eq!(&all, &expected, "{} final state mismatch", s.name());
+            assert_eq!(&all, &expected, "{} final state mismatch", s.name());
         }
     }
 }

@@ -10,6 +10,7 @@
 //! second, exactly the quantity the paper plots.
 
 pub mod experiments;
+pub mod metrics_run;
 pub mod scale;
 pub mod timing;
 

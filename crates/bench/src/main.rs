@@ -15,15 +15,26 @@
 //!   --seed N         determinism seed
 //!   --out DIR        CSV output directory       (default results/)
 //!   --tiny           CI-speed smoke scale
+//!   --metrics-out F  run the observability trajectory, write artifact F
+//!   --metrics-check F  validate a previously written artifact
 //! ```
+//!
+//! `--metrics-out` / `--metrics-check` work without an experiment name.
 
 use bench::experiments::{self, Report};
 use bench::BenchScale;
 use std::io::Write as _;
 
-fn parse_args() -> (Vec<String>, BenchScale, String) {
+#[derive(Default)]
+struct MetricsArgs {
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
     let mut scale = BenchScale::default();
     let mut out_dir = "results".to_string();
+    let mut metrics = MetricsArgs::default();
     let mut experiments = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -49,11 +60,19 @@ fn parse_args() -> (Vec<String>, BenchScale, String) {
                 i += 1;
                 out_dir = args.get(i).cloned().unwrap_or(out_dir);
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics.out = args.get(i).cloned();
+            }
+            "--metrics-check" => {
+                i += 1;
+                metrics.check = args.get(i).cloned();
+            }
             other => experiments.push(other.to_string()),
         }
         i += 1;
     }
-    (experiments, scale, out_dir)
+    (experiments, scale, out_dir, metrics)
 }
 
 fn run_one(name: &str, scale: &BenchScale) -> Option<Report> {
@@ -94,10 +113,52 @@ const ALL: [&str; 12] = [
     "ablation", "hasmr",
 ];
 
+fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
+    if let Some(path) = &metrics.out {
+        let started = std::time::Instant::now();
+        match bench::metrics_run::metrics_trajectory(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write metrics artifact");
+                println!(
+                    "wrote metrics artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("metrics trajectory failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read metrics artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::metrics_run::check_metrics_json(&content);
+        if problems.is_empty() {
+            println!("metrics artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("metrics artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let (mut wanted, scale, out_dir) = parse_args();
+    let (mut wanted, scale, out_dir, metrics) = parse_args();
+    if metrics.out.is_some() || metrics.check.is_some() {
+        run_metrics(&scale, &metrics);
+        if wanted.is_empty() {
+            return;
+        }
+    }
     if wanted.is_empty() {
         eprintln!("usage: seal-bench <fig02|fig03|table2|fig08..fig14|all> [options]");
+        eprintln!("       seal-bench --metrics-out FILE | --metrics-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

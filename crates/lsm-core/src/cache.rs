@@ -45,7 +45,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             meta.generation = generation;
         }
         self.order.push_back((key.clone(), generation));
-        // Bound the queue against pathological hit storms.
+        self.maybe_compact_order();
+    }
+
+    /// Bounds the lazy-deletion queue to O(map.len()): every mutation that
+    /// can leave a stale queue entry behind (touch, insert, remove) must
+    /// call this, or churn below the byte budget grows `order` without
+    /// bound.
+    fn maybe_compact_order(&mut self) {
         if self.order.len() > 4 * (self.map.len() + 1) {
             self.compact_order();
         }
@@ -89,17 +96,21 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         );
         self.used += charge;
         self.evict();
+        self.maybe_compact_order();
     }
 
     fn evict(&mut self) {
         while self.used > self.capacity && self.map.len() > 1 {
             match self.order.pop_front() {
                 Some((k, generation)) => {
-                    let stale = self
+                    // A queue entry is authoritative only if its generation
+                    // still matches the map's: that means the entry is live
+                    // and this is its most recent recency record.
+                    let live = self
                         .map
                         .get(&k)
                         .is_some_and(|m| m.generation == generation);
-                    if stale {
+                    if live {
                         let meta = self.map.remove(&k).expect("entry just observed");
                         self.used -= meta.charge;
                     }
@@ -109,11 +120,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Removes a key (e.g. when the file is deleted).
+    /// Removes a key (e.g. when the file is deleted). The stale queue
+    /// entry is reclaimed by the bounded compaction.
     pub fn remove(&mut self, key: &K) {
         if let Some(meta) = self.map.remove(key) {
             self.used -= meta.charge;
         }
+        self.maybe_compact_order();
     }
 
     /// Number of cached entries.
@@ -136,11 +149,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         (self.hits, self.misses)
     }
 
-    /// Drops everything.
+    /// Drops everything, including the hit/miss counters: a cleared cache
+    /// (reopen, crash restore) starts a fresh hit-ratio window, so stale
+    /// counts cannot skew ratios reported after the clear.
     pub fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
         self.used = 0;
+        self.hits = 0;
+        self.misses = 0;
     }
 }
 
@@ -225,5 +242,85 @@ mod tests {
             c.get(&1);
         }
         assert!(c.order.len() < 100);
+    }
+
+    #[test]
+    fn insert_remove_churn_does_not_leak_order_queue() {
+        // The table-cache pattern: compactions open (insert) and delete
+        // (remove) files while staying below the byte budget, so eviction
+        // never runs. Pre-fix, only `touch` compacted the queue, and this
+        // loop grew `order` to 20_000 entries.
+        let mut c: LruCache<u32, u32> = LruCache::new(u64::MAX);
+        for i in 0..10_000u32 {
+            c.insert(i, Arc::new(i), 1);
+            c.remove(&i);
+        }
+        assert!(c.is_empty());
+        assert!(
+            c.order.len() <= 4 * (c.map.len() + 1),
+            "order queue leaked: {} entries for {} live",
+            c.order.len(),
+            c.map.len()
+        );
+    }
+
+    #[test]
+    fn clear_resets_hit_stats() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, Arc::new(1), 10);
+        c.get(&1);
+        c.get(&2);
+        assert_eq!(c.hit_stats(), (1, 1));
+        c.clear();
+        // A cleared cache starts a fresh hit-ratio window.
+        assert_eq!(c.hit_stats(), (0, 0));
+        c.get(&1);
+        assert_eq!(c.hit_stats(), (0, 1));
+    }
+
+    /// Seeded xorshift64* so the property test is deterministic without
+    /// external crates (same idiom as `tests/prop_engine.rs`).
+    struct XorShift64(u64);
+
+    impl XorShift64 {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    #[test]
+    fn property_order_queue_stays_linear_in_live_entries() {
+        // Invariant: after every operation, order.len() <= 4*(map.len()+1)
+        // + 1 slack for the entry just pushed before compaction ran.
+        // Exercised under arbitrary interleavings of insert/get/remove
+        // across several seeds, key ranges and budgets.
+        for seed in [1u64, 0xDEADBEEF, 0x5EA1DB, 42, 7_777_777] {
+            let mut rng = XorShift64(seed);
+            let budget = 1 + rng.next() % 400;
+            let key_space = 1 + (rng.next() % 64) as u32;
+            let mut c: LruCache<u32, u32> = LruCache::new(budget);
+            for step in 0..5_000u32 {
+                let key = (rng.next() as u32) % key_space;
+                match rng.next() % 3 {
+                    0 => c.insert(key, Arc::new(step), 1 + rng.next() % 32),
+                    1 => {
+                        c.get(&key);
+                    }
+                    _ => c.remove(&key),
+                }
+                assert!(
+                    c.order.len() <= 4 * (c.map.len() + 1),
+                    "seed {seed} step {step}: order {} vs live {}",
+                    c.order.len(),
+                    c.map.len()
+                );
+                assert!(c.map.len() <= key_space as usize);
+            }
+        }
     }
 }

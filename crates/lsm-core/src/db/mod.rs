@@ -29,7 +29,7 @@ use crate::wal::{LogReader, LogWriter};
 use batch::WriteBatch;
 use iter::{DbIterator, LevelIterator};
 use options::Options;
-use smr_sim::{Disk, IoKind};
+use smr_sim::{Disk, IoKind, ObsEventKind, ObsLayer};
 
 /// A finished compaction output awaiting placement:
 /// `(file id, encoded table bytes, smallest key, largest key)`.
@@ -387,6 +387,30 @@ impl DbCore {
         self.ctx.lock().fs.disk().clock_ns()
     }
 
+    // ----- observability plumbing -----
+    //
+    // The disk owns the store's single `Obs` sink (one clock, one event
+    // order, deterministic exports); these helpers reach it through the
+    // shared context so every layer of the engine reports into the same
+    // registry.
+
+    fn obs_latency(&self, layer: ObsLayer, name: &str, ns: u64) {
+        self.ctx.lock().fs.disk_mut().obs_mut().latency(layer, name, ns);
+    }
+
+    fn obs_counter(&self, layer: ObsLayer, name: &str, delta: u64) {
+        self.ctx
+            .lock()
+            .fs
+            .disk_mut()
+            .obs_mut()
+            .counter_add(layer, name, delta);
+    }
+
+    fn obs_event(&self, layer: ObsLayer, kind: ObsEventKind, a: u64, b: u64) {
+        self.ctx.lock().fs.disk_mut().obs_event(layer, kind, a, b);
+    }
+
     /// Per-level (file count, bytes) summary plus the memtable size —
     /// LevelDB's `leveldb.stats` property in structured form.
     pub fn level_summary(&self) -> (Vec<(usize, u64)>, usize) {
@@ -419,6 +443,7 @@ impl DbCore {
         if batch.is_empty() {
             return Ok(());
         }
+        let t0 = self.clock_ns();
         let seq = self.versions.last_sequence() + 1;
         batch.set_sequence(seq);
         if let Some(wal) = self.wal.as_mut() {
@@ -428,7 +453,12 @@ impl DbCore {
             if wal.pending_len() >= self.opts.wal_buffer_bytes.max(1) {
                 let bytes = wal.take();
                 let mut guard = self.ctx.lock();
+                let s0 = guard.fs.disk().clock_ns();
                 guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
+                let s1 = guard.fs.disk().clock_ns();
+                let obs = guard.fs.disk_mut().obs_mut();
+                obs.latency(ObsLayer::Wal, "sync_ns", s1 - s0);
+                obs.counter_add(ObsLayer::Wal, "sync_bytes", bytes.len() as u64);
             }
         }
         for (s, ty, key, value) in batch.iter() {
@@ -437,7 +467,11 @@ impl DbCore {
         self.versions
             .set_last_sequence(seq + u64::from(batch.count()) - 1);
         self.ctx.lock().fs.disk_mut().stats_mut().user_payload += batch.payload_bytes();
-        self.maybe_flush_and_compact()
+        self.maybe_flush_and_compact()?;
+        // Whole-op latency, flush/compaction stalls included: the paper's
+        // Fig. 10 bimodality lives in this histogram's tail.
+        self.obs_latency(ObsLayer::Store, "write_ns", self.clock_ns() - t0);
+        Ok(())
     }
 
     /// Forces the memtable to flush and compactions to quiesce (used at
@@ -459,6 +493,8 @@ impl DbCore {
         if self.mem.is_empty() {
             return Ok(());
         }
+        let t0 = self.clock_ns();
+        let old_wal = self.wal_id;
         let file_id = self.versions.new_file_id();
         let mut builder = TableBuilder::new(self.opts.table_options());
         {
@@ -511,6 +547,12 @@ impl DbCore {
         }
         self.flush_count += 1;
         self.mem = MemTable::new(self.opts.seed.wrapping_add(self.flush_count));
+        self.obs_counter(ObsLayer::Lsm, "flush_bytes", size);
+        self.obs_latency(ObsLayer::Lsm, "flush_ns", self.clock_ns() - t0);
+        self.obs_event(ObsLayer::Lsm, ObsEventKind::Flush, size, file_id);
+        if let Some(id) = new_wal {
+            self.obs_event(ObsLayer::Wal, ObsEventKind::WalRotate, id, old_wal);
+        }
         Ok(())
     }
 
@@ -589,6 +631,7 @@ impl DbCore {
         let start_ns = self.clock_ns();
         if self.is_trivial_move(&c) {
             let f = &c.inputs[0][0];
+            let f_size = f.size;
             let mut edit = VersionEdit::default();
             edit.delete_file(c.level, f.id);
             edit.add_file(c.level + 1, (**f).clone());
@@ -600,7 +643,7 @@ impl DbCore {
                 id: cid,
                 level: c.level,
                 input_files: 1,
-                input_bytes: f.size,
+                input_bytes: f_size,
                 output_files: 1,
                 output_bytes: 0,
                 start_ns,
@@ -608,6 +651,8 @@ impl DbCore {
                 output_bands: 0,
                 trivial_move: true,
             });
+            self.obs_counter(ObsLayer::Lsm, "trivial_moves", 1);
+            self.obs_event(ObsLayer::Lsm, ObsEventKind::TrivialMove, c.level as u64, f_size);
             return Ok(());
         }
 
@@ -776,6 +821,16 @@ impl DbCore {
             output_bands,
             trivial_move: false,
         });
+        let lvl = c.level;
+        self.obs_counter(ObsLayer::Lsm, &format!("compaction.l{lvl}.bytes_in"), input_bytes);
+        self.obs_counter(
+            ObsLayer::Lsm,
+            &format!("compaction.l{lvl}.bytes_out"),
+            output_bytes,
+        );
+        self.obs_counter(ObsLayer::Lsm, &format!("compaction.l{lvl}.count"), 1);
+        self.obs_latency(ObsLayer::Lsm, "compaction_ns", end_ns - start_ns);
+        self.obs_event(ObsLayer::Lsm, ObsEventKind::Compaction, lvl as u64, output_bytes);
         Ok(())
     }
 
@@ -846,6 +901,13 @@ impl DbCore {
     }
 
     fn get_internal(&mut self, key: &[u8], snapshot: SequenceNumber) -> Result<Option<Vec<u8>>> {
+        let t0 = self.clock_ns();
+        let r = self.get_inner(key, snapshot);
+        self.obs_latency(ObsLayer::Store, "get_ns", self.clock_ns() - t0);
+        r
+    }
+
+    fn get_inner(&mut self, key: &[u8], snapshot: SequenceNumber) -> Result<Option<Vec<u8>>> {
         if let Some(hit) = self.mem.get(key, snapshot) {
             return Ok(hit);
         }
@@ -879,6 +941,18 @@ impl DbCore {
     }
 
     fn scan_internal(
+        &mut self,
+        start: &[u8],
+        limit: usize,
+        snapshot: SequenceNumber,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let t0 = self.clock_ns();
+        let r = self.scan_inner(start, limit, snapshot);
+        self.obs_latency(ObsLayer::Store, "scan_ns", self.clock_ns() - t0);
+        r
+    }
+
+    fn scan_inner(
         &mut self,
         start: &[u8],
         limit: usize,

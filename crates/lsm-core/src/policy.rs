@@ -14,7 +14,24 @@ use crate::filestore::FileStore;
 use crate::types::FileId;
 use crate::version::FSMETA_LOG_ID;
 use placement::Allocator;
-use smr_sim::{Extent, IoKind};
+use smr_sim::{Extent, IoKind, ObsLayer};
+
+/// Drains an allocator's queued band-lifecycle events into the disk's
+/// observability sink, stamping each with the current simulated time and
+/// bumping the matching placement counter. Policies call this after any
+/// operation that can allocate or free extents.
+pub fn drain_alloc_events(alloc: &mut dyn Allocator, fs: &mut FileStore) {
+    let events = alloc.take_events();
+    if events.is_empty() {
+        return;
+    }
+    let disk = fs.disk_mut();
+    for ev in events {
+        disk.obs_mut()
+            .counter_add(ObsLayer::Placement, ev.kind.name(), 1);
+        disk.obs_event(ObsLayer::Placement, ev.kind, ev.offset, ev.len);
+    }
+}
 
 /// Decides where flush and compaction outputs land on disk.
 pub trait PlacementPolicy: Send {
@@ -185,6 +202,7 @@ impl PerFilePolicy {
 
     fn place_one(&mut self, fs: &mut FileStore, file: FileId, data: &[u8]) -> Result<()> {
         let ext = self.alloc.allocate(data.len() as u64)?;
+        drain_alloc_events(self.alloc.as_mut(), fs);
         fs.write_file_at(file, ext, data, IoKind::Flush)?;
         self.journal(fs)
     }
@@ -203,6 +221,7 @@ impl PlacementPolicy for PerFilePolicy {
     fn place_outputs(&mut self, fs: &mut FileStore, outputs: &[(FileId, Vec<u8>)]) -> Result<u64> {
         for (file, data) in outputs {
             let ext = self.alloc.allocate(data.len() as u64)?;
+            drain_alloc_events(self.alloc.as_mut(), fs);
             fs.write_file_at(*file, ext, data, IoKind::CompactionWrite)?;
             self.journal(fs)?;
         }
@@ -212,6 +231,7 @@ impl PlacementPolicy for PerFilePolicy {
     fn delete_file(&mut self, fs: &mut FileStore, file: FileId) -> Result<()> {
         let ext = fs.drop_file(file)?;
         self.alloc.free(ext);
+        drain_alloc_events(self.alloc.as_mut(), fs);
         self.journal(fs)
     }
 

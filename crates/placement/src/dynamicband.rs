@@ -18,7 +18,7 @@
 
 use crate::freelist::FreeSpaceList;
 use crate::{AllocError, Allocator};
-use smr_sim::Extent;
+use smr_sim::{AllocEvent, Extent, ObsEventKind};
 use std::collections::BTreeMap;
 
 /// Record of one live allocation: the data extent plus any guard bytes
@@ -40,6 +40,8 @@ pub struct DynamicBandAlloc {
     free: FreeSpaceList,
     live: BTreeMap<u64, AllocRecord>,
     allocated: u64,
+    /// Band-lifecycle events queued for [`Allocator::take_events`].
+    events: Vec<AllocEvent>,
 }
 
 impl DynamicBandAlloc {
@@ -53,6 +55,7 @@ impl DynamicBandAlloc {
             free: FreeSpaceList::new(sstable_size),
             live: BTreeMap::new(),
             allocated: 0,
+            events: Vec::new(),
         }
     }
 
@@ -124,6 +127,11 @@ impl Allocator for DynamicBandAlloc {
                 },
             );
             self.allocated += size;
+            self.events.push(AllocEvent {
+                kind: ObsEventKind::BandAllocate,
+                offset: hole.offset,
+                len: size,
+            });
             return Ok(Extent::new(hole.offset, size));
         }
         // Append at the frontier of the banded region. No guard is
@@ -144,6 +152,11 @@ impl Allocator for DynamicBandAlloc {
         );
         self.frontier += size;
         self.allocated += size;
+        self.events.push(AllocEvent {
+            kind: ObsEventKind::BandAppend,
+            offset: ext.offset,
+            len: size,
+        });
         Ok(ext)
     }
 
@@ -158,6 +171,11 @@ impl Allocator for DynamicBandAlloc {
         // coalescing happens inside the free list.
         self.free
             .insert(Extent::new(ext.offset, rec.reserved_len));
+        self.events.push(AllocEvent {
+            kind: ObsEventKind::BandRecycle,
+            offset: ext.offset,
+            len: rec.reserved_len,
+        });
     }
 
     fn high_water(&self) -> u64 {
@@ -181,6 +199,7 @@ impl Allocator for DynamicBandAlloc {
         self.free = FreeSpaceList::new(self.free.align());
         self.allocated = 0;
         self.frontier = 0;
+        self.events.clear();
         for ext in live {
             // Guard bytes the lost allocation had reserved past its data
             // are unknown here, so each survivor keeps only its data
@@ -200,6 +219,10 @@ impl Allocator for DynamicBandAlloc {
 
     fn band_snapshot(&self) -> Vec<(Extent, usize)> {
         self.bands()
+    }
+
+    fn take_events(&mut self) -> Vec<AllocEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -345,6 +368,30 @@ mod tests {
         assert_eq!(a.frontier(), 0);
         let e = a.allocate(4 * MB).unwrap();
         assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn lifecycle_events_are_queued_and_drained() {
+        let mut a = alloc();
+        let s1 = a.allocate(24 * MB).unwrap(); // append
+        a.free(s1); // recycle
+        let _s2 = a.allocate(8 * MB).unwrap(); // insert into the hole
+        let evs = a.take_events();
+        let kinds: Vec<ObsEventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ObsEventKind::BandAppend,
+                ObsEventKind::BandRecycle,
+                ObsEventKind::BandAllocate
+            ]
+        );
+        assert_eq!(evs[0].offset, 0);
+        // A frontier append reserves no guard, so its recycle returns
+        // exactly the data bytes.
+        assert_eq!(evs[1].len, 24 * MB);
+        // Draining empties the queue.
+        assert!(a.take_events().is_empty());
     }
 
     #[test]

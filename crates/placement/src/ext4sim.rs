@@ -21,7 +21,7 @@
 //! exactly the asymmetry the paper's micro-benchmarks exhibit.
 
 use crate::{AllocError, Allocator};
-use smr_sim::{Extent, ExtentSet};
+use smr_sim::{AllocEvent, Extent, ExtentSet, ObsEventKind};
 
 struct BlockGroup {
     base: u64,
@@ -49,6 +49,8 @@ pub struct Ext4Sim {
     group_size: u64,
     allocated: u64,
     high_water: u64,
+    /// Lifecycle events queued for [`Allocator::take_events`].
+    events: Vec<AllocEvent>,
 }
 
 impl Ext4Sim {
@@ -73,6 +75,7 @@ impl Ext4Sim {
             group_size,
             allocated: 0,
             high_water: 0,
+            events: Vec::new(),
         }
     }
 
@@ -110,7 +113,19 @@ impl Allocator for Ext4Sim {
         for i in order {
             if let Some(ext) = self.groups[i].allocate(size) {
                 self.allocated += size;
+                // Below the old high-water mark the extent reuses a hole
+                // in already-written space; beyond it, fresh space.
+                let kind = if ext.end() <= self.high_water {
+                    ObsEventKind::BandAllocate
+                } else {
+                    ObsEventKind::BandAppend
+                };
                 self.high_water = self.high_water.max(ext.end());
+                self.events.push(AllocEvent {
+                    kind,
+                    offset: ext.offset,
+                    len: ext.len,
+                });
                 return Ok(ext);
             }
         }
@@ -130,6 +145,11 @@ impl Allocator for Ext4Sim {
         debug_assert!(!group.free.overlaps(ext), "double free of {ext:?}");
         group.free.insert(ext);
         self.allocated -= ext.len;
+        self.events.push(AllocEvent {
+            kind: ObsEventKind::BandRecycle,
+            offset: ext.offset,
+            len: ext.len,
+        });
     }
 
     fn high_water(&self) -> u64 {
@@ -155,6 +175,7 @@ impl Allocator for Ext4Sim {
     fn rebuild(&mut self, live: &[Extent]) {
         self.allocated = 0;
         self.high_water = 0;
+        self.events.clear();
         for g in &mut self.groups {
             let mut free = ExtentSet::new();
             free.insert(Extent::new(g.base, g.size));
@@ -171,6 +192,10 @@ impl Allocator for Ext4Sim {
             self.allocated += ext.len;
             self.high_water = self.high_water.max(ext.end());
         }
+    }
+
+    fn take_events(&mut self) -> Vec<AllocEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

@@ -7,7 +7,7 @@
 //! smaller than the band.
 
 use crate::{AllocError, Allocator};
-use smr_sim::Extent;
+use smr_sim::{AllocEvent, Extent, ObsEventKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Dedicated-band allocator.
@@ -19,6 +19,8 @@ pub struct FixedBandAlloc {
     live: BTreeMap<u64, u64>,
     allocated: u64,
     high_water: u64,
+    /// Band-lifecycle events queued for [`Allocator::take_events`].
+    events: Vec<AllocEvent>,
 }
 
 impl FixedBandAlloc {
@@ -33,6 +35,7 @@ impl FixedBandAlloc {
             live: BTreeMap::new(),
             allocated: 0,
             high_water: 0,
+            events: Vec::new(),
         }
     }
 
@@ -72,9 +75,21 @@ impl Allocator for FixedBandAlloc {
         })?;
         self.free_bands.remove(&band);
         let base = band * self.band_size;
+        // A band past the old high-water mark is a fresh append; a band
+        // below it is a recycled one being reused.
+        let kind = if base >= self.high_water {
+            ObsEventKind::BandAppend
+        } else {
+            ObsEventKind::BandAllocate
+        };
         self.live.insert(base, size);
         self.allocated += size;
         self.high_water = self.high_water.max(base + self.band_size);
+        self.events.push(AllocEvent {
+            kind,
+            offset: base,
+            len: size,
+        });
         Ok(Extent::new(base, size))
     }
 
@@ -87,6 +102,11 @@ impl Allocator for FixedBandAlloc {
         assert_eq!(len, ext.len, "free with wrong length for {ext:?}");
         self.allocated -= len;
         self.free_bands.insert(base / self.band_size);
+        self.events.push(AllocEvent {
+            kind: ObsEventKind::BandRecycle,
+            offset: base,
+            len: self.band_size,
+        });
     }
 
     fn high_water(&self) -> u64 {
@@ -116,6 +136,7 @@ impl Allocator for FixedBandAlloc {
         self.live.clear();
         self.allocated = 0;
         self.high_water = 0;
+        self.events.clear();
         for ext in live {
             let band = ext.offset / self.band_size;
             assert_eq!(
@@ -128,6 +149,10 @@ impl Allocator for FixedBandAlloc {
             self.allocated += ext.len;
             self.high_water = self.high_water.max(ext.offset + self.band_size);
         }
+    }
+
+    fn take_events(&mut self) -> Vec<AllocEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

@@ -97,4 +97,12 @@ pub trait Allocator: Send {
     fn band_snapshot(&self) -> Vec<(Extent, usize)> {
         Vec::new()
     }
+
+    /// Drains queued band-lifecycle events (allocate/append/recycle) for
+    /// the observability layer. Allocators have no disk access, so they
+    /// queue events and the placement policy above drains them into the
+    /// disk's `Obs` with a timestamp. Default: no events.
+    fn take_events(&mut self) -> Vec<smr_sim::AllocEvent> {
+        Vec::new()
+    }
 }

@@ -45,4 +45,4 @@ pub mod store;
 pub use config::{StoreConfig, StoreKind};
 pub use policy::SetPolicy;
 pub use set::{SetRegion, SetRegistry};
-pub use store::{Store, StoreSnapshot};
+pub use store::{MetricsSnapshot, Store, StoreSnapshot};

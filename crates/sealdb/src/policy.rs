@@ -14,10 +14,10 @@
 use crate::set::SetRegistry;
 use lsm_core::filestore::FileStore;
 use lsm_core::types::FileId;
-use lsm_core::policy::{GcConfig, GcReport};
+use lsm_core::policy::{drain_alloc_events, GcConfig, GcReport};
 use lsm_core::{PlacementPolicy, Result, SetStats};
 use placement::Allocator;
-use smr_sim::{Extent, IoKind};
+use smr_sim::{Extent, IoKind, ObsEventKind, ObsLayer};
 
 /// Set-based placement over any allocator (dynamic bands for SEALDB;
 /// an Ext4-like allocator for the Fig. 14 "LevelDB + sets" ablation).
@@ -84,6 +84,7 @@ impl PlacementPolicy for SetPolicy {
 
     fn place_flush(&mut self, fs: &mut FileStore, file: FileId, data: &[u8]) -> Result<u64> {
         let ext = self.alloc.allocate(data.len() as u64)?;
+        drain_alloc_events(self.alloc.as_mut(), fs);
         fs.write_file_at(file, ext, data, IoKind::Flush)?;
         self.journal(fs)?;
         Ok(self.registry.register(ext, vec![file], false))
@@ -97,6 +98,7 @@ impl PlacementPolicy for SetPolicy {
         // One allocation for the whole regenerated set; members are laid
         // out back-to-back so the set reads and writes sequentially.
         let region = self.alloc.allocate(total)?;
+        drain_alloc_events(self.alloc.as_mut(), fs);
         let mut offset = region.offset;
         let mut members = Vec::with_capacity(outputs.len());
         for (file, data) in outputs {
@@ -115,6 +117,7 @@ impl PlacementPolicy for SetPolicy {
         fs.drop_file(file)?;
         if let Some(region_ext) = self.registry.invalidate_file(file) {
             self.alloc.free(region_ext);
+            drain_alloc_events(self.alloc.as_mut(), fs);
         }
         self.journal(fs)
     }
@@ -221,6 +224,7 @@ impl PlacementPolicy for SetPolicy {
             let total: u64 = live.iter().map(|(_, d, _)| d.len() as u64).sum();
             if total > 0 {
                 let new_region = self.alloc.allocate(total)?;
+                drain_alloc_events(self.alloc.as_mut(), fs);
                 let mut offset = new_region.offset;
                 // Invalidate the old copies before the writes so the raw
                 // SMR guard checks see the space as free.
@@ -236,6 +240,13 @@ impl PlacementPolicy for SetPolicy {
                 report.moved_bytes += total;
             }
             self.alloc.free(region.ext);
+            drain_alloc_events(self.alloc.as_mut(), fs);
+            fs.disk_mut().obs_event(
+                ObsLayer::Placement,
+                ObsEventKind::GcRelocate,
+                region.ext.offset,
+                total,
+            );
             report.relocated_sets += 1;
             report.fragments_after = fragment_bytes(self.alloc.as_ref());
         }

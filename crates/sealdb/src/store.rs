@@ -3,7 +3,7 @@
 
 use crate::config::StoreKind;
 use lsm_core::{CompactionRecord, DbCore, Result, SetStats};
-use smr_sim::{Extent, IoStats, TraceEvent};
+use smr_sim::{Extent, IoStats, Obs, ObsLayer, TraceEvent};
 
 /// One of the paper's key-value stores, ready for workloads.
 pub struct Store {
@@ -59,6 +59,38 @@ impl StoreSnapshot {
     /// Total simulated compaction latency, ns (Fig. 10(a) aggregate).
     pub fn total_compaction_ns(&self) -> u64 {
         self.compactions.iter().map(|c| c.duration_ns).sum()
+    }
+}
+
+/// The unified observability snapshot: the store's whole [`Obs`] bundle
+/// (counters, gauges, latency histograms, trace ring) plus identity.
+/// Produced by [`Store::metrics_snapshot`]; exports are deterministic —
+/// two same-seed runs serialize byte-identically.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Display name of the store.
+    pub name: &'static str,
+    /// Simulated clock at snapshot time, ns.
+    pub clock_ns: u64,
+    /// The observability bundle, including derived gauges.
+    pub obs: Obs,
+}
+
+impl MetricsSnapshot {
+    /// Deterministic JSON with store identity wrapped around the obs
+    /// bundle; at most `trace_tail` trace events are inlined.
+    pub fn to_json(&self, trace_tail: usize) -> String {
+        format!(
+            "{{\"store\":\"{}\",\"clock_ns\":{},\"obs\":{}}}",
+            self.name,
+            self.clock_ns,
+            self.obs.to_json(trace_tail)
+        )
+    }
+
+    /// Deterministic CSV of every counter, gauge, and histogram.
+    pub fn to_csv(&self) -> String {
+        self.obs.to_csv()
     }
 }
 
@@ -169,6 +201,68 @@ impl Store {
         events
     }
 
+    /// Publishes derived gauges (WA / AWA / MWA, cache hit ratios, fault
+    /// counts) into the store's observability registry and returns the
+    /// whole bundle. Counters and latency histograms accumulate live at
+    /// the layers that emit them; everything derived here is written as a
+    /// gauge, so repeated snapshots are idempotent.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let name = self.kind.name();
+        let flushes = self.db.flush_count();
+        let ctx = self.db.ctx();
+        let mut guard = ctx.lock();
+        let (bh, bm) = guard.block_cache.hit_stats();
+        let (th, tm) = guard.table_cache.hit_stats();
+        let stats = guard.fs.disk().stats().clone();
+        let clock_ns = guard.fs.disk().clock_ns();
+        let obs = guard.fs.disk_mut().obs_mut();
+        let ratio = |h: u64, m: u64| {
+            if h + m == 0 {
+                0.0
+            } else {
+                h as f64 / (h + m) as f64
+            }
+        };
+        obs.gauge_set(ObsLayer::Cache, "block_hits", bh as f64);
+        obs.gauge_set(ObsLayer::Cache, "block_misses", bm as f64);
+        obs.gauge_set(ObsLayer::Cache, "block_hit_ratio", ratio(bh, bm));
+        obs.gauge_set(ObsLayer::Cache, "table_hits", th as f64);
+        obs.gauge_set(ObsLayer::Cache, "table_misses", tm as f64);
+        obs.gauge_set(ObsLayer::Cache, "table_hit_ratio", ratio(th, tm));
+        obs.gauge_set(ObsLayer::Store, "wa", stats.wa());
+        obs.gauge_set(ObsLayer::Store, "awa", stats.awa());
+        obs.gauge_set(ObsLayer::Store, "mwa", stats.mwa());
+        obs.gauge_set(ObsLayer::Store, "flushes", flushes as f64);
+        let f = stats.faults;
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_injected_write_failures",
+            f.injected_write_failures as f64,
+        );
+        obs.gauge_set(ObsLayer::Device, "fault_torn_writes", f.torn_writes as f64);
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_read_corruptions",
+            f.read_corruptions as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_transient_read_errors",
+            f.transient_read_errors as f64,
+        );
+        obs.gauge_set(ObsLayer::Device, "fault_read_retries", f.read_retries as f64);
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_checksum_failures",
+            f.checksum_failures as f64,
+        );
+        MetricsSnapshot {
+            name,
+            clock_ns,
+            obs: obs.clone(),
+        }
+    }
+
     /// Snapshots every reported quantity.
     pub fn snapshot(&self) -> StoreSnapshot {
         let ctx = self.db.ctx();
@@ -186,5 +280,94 @@ impl Store {
             bands: policy.allocator().band_snapshot(),
             flushes: self.db.flush_count(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{StoreConfig, StoreKind};
+    use smr_sim::ObsLayer;
+
+    fn exercised(kind: StoreKind) -> super::MetricsSnapshot {
+        let cfg = StoreConfig::new(kind, 256 << 10, 1 << 30);
+        let mut s = cfg.build().unwrap();
+        for i in 0..6000u64 {
+            let key = format!("key{i:08}");
+            s.put(key.as_bytes(), &vec![b'v'; 256]).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..200u64 {
+            let key = format!("key{i:08}");
+            s.get(key.as_bytes()).unwrap();
+        }
+        s.scan(b"key", 50).unwrap();
+        s.metrics_snapshot()
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_layers() {
+        let m = exercised(StoreKind::SealDb);
+        // Op latency percentiles from the store layer.
+        let w = m.obs.histogram(ObsLayer::Store, "write_ns").unwrap();
+        assert_eq!(w.count(), 6000);
+        assert!(w.p95() >= w.p50());
+        assert!(m.obs.histogram(ObsLayer::Store, "get_ns").is_some());
+        assert!(m.obs.histogram(ObsLayer::Store, "scan_ns").is_some());
+        // Device latencies and LSM byte flow accumulated live.
+        assert!(m.obs.histogram(ObsLayer::Device, "write_ns").is_some());
+        assert!(m.obs.registry.counter(ObsLayer::Lsm, "flush_bytes") > 0);
+        // Cache hit ratios are valid probabilities.
+        for g in ["block_hit_ratio", "table_hit_ratio"] {
+            let r = m.obs.registry.gauge(ObsLayer::Cache, g);
+            assert!((0.0..=1.0).contains(&r), "{g} = {r}");
+        }
+        // Amplification gauges: MWA = WA x AWA holds inside the registry.
+        let wa = m.obs.registry.gauge(ObsLayer::Store, "wa");
+        let awa = m.obs.registry.gauge(ObsLayer::Store, "awa");
+        let mwa = m.obs.registry.gauge(ObsLayer::Store, "mwa");
+        assert!(wa >= 1.0);
+        assert!((mwa - wa * awa).abs() < 1e-9);
+        // Fault gauges exist (zero on this clean run).
+        assert_eq!(m.obs.registry.gauge(ObsLayer::Device, "fault_torn_writes"), 0.0);
+        // The allocator's band lifecycle reached the placement layer.
+        assert!(m.obs.registry.counter(ObsLayer::Placement, "band-append") > 0);
+        assert!(!m.obs.tracer.is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_is_deterministic() {
+        let a = exercised(StoreKind::SealDb);
+        let b = exercised(StoreKind::SealDb);
+        assert_eq!(a.to_json(128), b.to_json(128));
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert!(!a.to_json(128).contains("NaN"));
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_per_level_compaction_bytes() {
+        let m = exercised(StoreKind::LevelDb);
+        // Enough churn to compact out of L0: the per-level counters from
+        // the engine appear under the lsm layer.
+        let total: u64 = (0..7)
+            .map(|l| {
+                m.obs
+                    .registry
+                    .counter(ObsLayer::Lsm, &format!("compaction.l{l}.bytes_out"))
+            })
+            .sum();
+        let recorded_compactions = m.obs.registry.counter(ObsLayer::Lsm, "trivial_moves")
+            + (0..7)
+                .map(|l| {
+                    m.obs
+                        .registry
+                        .counter(ObsLayer::Lsm, &format!("compaction.l{l}.count"))
+                })
+                .sum::<u64>();
+        assert!(recorded_compactions > 0, "workload must compact");
+        // Trivial moves rewrite nothing, so bytes_out may be 0, but the
+        // counters must be present and consistent with the WAL sync path.
+        let _ = total;
+        assert!(m.obs.registry.counter(ObsLayer::Wal, "sync_bytes") > 0);
+        assert!(m.obs.histogram(ObsLayer::Wal, "sync_ns").is_some());
     }
 }

@@ -20,6 +20,7 @@
 use crate::error::{DiskError, DiskResult};
 use crate::extent::{Extent, ExtentSet};
 use crate::fault::{FaultPlan, WriteFault};
+use crate::obs::{Obs, ObsEventKind, ObsLayer};
 use crate::stats::{IoKind, IoStats};
 use crate::store::SparseStore;
 use crate::timemodel::TimeModel;
@@ -142,6 +143,9 @@ pub struct Disk {
     write_index: u64,
     /// Automatic crash-point snapshots pending collection.
     auto_snaps: Vec<DiskSnapshot>,
+    /// Unified observability sink shared by every layer above. Volatile:
+    /// like the statistics, it is not rolled back by [`Disk::restore`].
+    obs: Obs,
 }
 
 impl Disk {
@@ -172,6 +176,7 @@ impl Disk {
             faults: FaultPlan::default(),
             write_index: 0,
             auto_snaps: Vec::new(),
+            obs: Obs::new(),
         }
     }
 
@@ -221,6 +226,24 @@ impl Disk {
     /// Mutable statistics (the KV store credits `user_payload` here).
     pub fn stats_mut(&mut self) -> &mut IoStats {
         &mut self.stats
+    }
+
+    /// The unified observability sink (metrics registry, latency
+    /// histograms, event tracer). All layers above the disk account here
+    /// via `FileStore::disk_mut()`, so one store has exactly one sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable observability sink.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Records a trace event stamped with the current simulated time.
+    pub fn obs_event(&mut self, layer: ObsLayer, kind: ObsEventKind, a: u64, b: u64) {
+        let t = self.clock_ns;
+        self.obs.event(t, layer, kind, a, b);
     }
 
     /// The trace recorder.
@@ -334,6 +357,7 @@ impl Disk {
         if let Some(left) = self.writes_until_failure.as_mut() {
             if *left == 0 {
                 self.stats.faults.injected_write_failures += 1;
+                self.obs_event(ObsLayer::Device, ObsEventKind::InjectedWriteFailure, 0, 0);
                 return Err(DiskError::Injected);
             }
             *left -= 1;
@@ -363,6 +387,7 @@ impl Disk {
         }
         self.valid.insert(ext);
         self.stats.faults.torn_writes += 1;
+        self.obs_event(ObsLayer::Device, ObsEventKind::TornWrite, ext.offset, persist);
         Err(DiskError::TornWrite { ext })
     }
 
@@ -385,6 +410,12 @@ impl Disk {
         }
         if self.faults.on_read(ext) {
             self.stats.faults.transient_read_errors += 1;
+            self.obs_event(
+                ObsLayer::Device,
+                ObsEventKind::TransientReadError,
+                ext.offset,
+                ext.len,
+            );
             return Err(DiskError::TransientRead { ext });
         }
         // Segmented read-ahead: a read continuing a live stream is served
@@ -420,10 +451,17 @@ impl Disk {
         self.head = ext.end();
         self.clock_ns += t;
         self.stats.record_read(kind, ext.len, ext.len, t);
+        self.obs.latency(ObsLayer::Device, "read_ns", t);
         self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Read, kind);
         let mut buf = self.store.read_vec(ext.offset, ext.len as usize);
         if self.faults.corrupt_buf(ext, &mut buf) > 0 {
             self.stats.faults.read_corruptions += 1;
+            self.obs_event(
+                ObsLayer::Device,
+                ObsEventKind::ReadCorruption,
+                ext.offset,
+                ext.len,
+            );
         }
         Ok(buf)
     }
@@ -442,9 +480,16 @@ impl Disk {
             WriteFault::Torn { persist } => return self.perform_torn_write(ext, data, persist),
             WriteFault::PowerLost => {
                 self.stats.faults.injected_write_failures += 1;
+                self.obs_event(
+                    ObsLayer::Device,
+                    ObsEventKind::InjectedWriteFailure,
+                    ext.offset,
+                    ext.len,
+                );
                 return Err(DiskError::Injected);
             }
         }
+        let t0 = self.clock_ns;
         match self.layout {
             Layout::Hdd => self.write_hdd(ext, data, kind),
             Layout::FixedBand { band_size } => self.write_fixed_band(ext, data, kind, band_size),
@@ -454,6 +499,8 @@ impl Disk {
                 media_cache_bytes,
             } => self.write_ha_smr(ext, data, kind, band_size, media_cache_bytes),
         }?;
+        let dt = self.clock_ns - t0;
+        self.obs.latency(ObsLayer::Device, "write_ns", dt);
         self.note_write_complete();
         Ok(())
     }
@@ -515,6 +562,9 @@ impl Disk {
     fn clean_media_cache(&mut self, kind: IoKind) {
         let mut dirty: Vec<(u64, u64)> = self.dirty_bands.drain().collect();
         dirty.sort_unstable();
+        let t_start = self.clock_ns;
+        let band_count = dirty.len() as u64;
+        let mut moved = 0u64;
         for (band_start, staged_end) in dirty {
             let band = self.bands.entry(band_start).or_insert_with(|| BandState {
                 wp: 0,
@@ -532,11 +582,21 @@ impl Disk {
             self.clock_ns += t;
             self.stats.record_write(kind, 0, rewrite, t);
             self.stats.record_device_read_overhead(kind, preserve);
+            moved += rewrite;
             band.wp = rewrite;
             band.cursor = u64::MAX;
         }
         self.cache_used = 0;
         self.cleanings += 1;
+        self.obs.counter_add(ObsLayer::Device, "media_cache_cleanings", 1);
+        self.obs
+            .latency(ObsLayer::Device, "cleaning_stall_ns", self.clock_ns - t_start);
+        self.obs_event(
+            ObsLayer::Device,
+            ObsEventKind::MediaCacheClean,
+            band_count,
+            moved,
+        );
     }
 
     fn write_hdd(&mut self, ext: Extent, data: &[u8], kind: IoKind) -> DiskResult<()> {
@@ -619,7 +679,7 @@ impl Disk {
         kind: IoKind,
         band_start: u64,
         within: u64,
-        _band_size: u64,
+        band_size: u64,
     ) {
         let band = self.bands.entry(band_start).or_insert_with(|| BandState {
             wp: 0,
@@ -656,6 +716,13 @@ impl Disk {
             self.clock_ns += t;
             self.stats.record_write(kind, ext.len, rewrite, t);
             self.stats.record_device_read_overhead(kind, preserve);
+            self.obs.counter_add(ObsLayer::Device, "band_rmw_bytes", rewrite);
+            self.obs_event(
+                ObsLayer::Device,
+                ObsEventKind::BandRmw,
+                band_start / band_size,
+                rewrite,
+            );
         }
         let band = self.bands.get_mut(&band_start).expect("band just touched");
         band.wp = band.wp.max(within + ext.len);
@@ -681,12 +748,19 @@ impl Disk {
             WriteFault::Torn { persist } => return self.perform_torn_write(ext, data, persist),
             WriteFault::PowerLost => {
                 self.stats.faults.injected_write_failures += 1;
+                self.obs_event(
+                    ObsLayer::Device,
+                    ObsEventKind::InjectedWriteFailure,
+                    ext.offset,
+                    ext.len,
+                );
                 return Err(DiskError::Injected);
             }
         }
         let t = CONV_WRITE_OVERHEAD_NS + TimeModel::xfer_ns(ext.len, self.model.write_bps);
         self.clock_ns += t;
         self.stats.record_write(kind, ext.len, ext.len, t);
+        self.obs.latency(ObsLayer::Device, "write_ns", t);
         self.store.write(ext.offset, data);
         self.valid.insert(ext);
         self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);

@@ -33,6 +33,7 @@ pub mod disk;
 pub mod error;
 pub mod extent;
 pub mod fault;
+pub mod obs;
 pub mod stats;
 pub mod store;
 pub mod timemodel;
@@ -42,6 +43,10 @@ pub use disk::{Disk, DiskSnapshot, Layout};
 pub use error::{DiskError, DiskResult};
 pub use extent::{Extent, ExtentSet};
 pub use fault::FaultPlan;
+pub use obs::{
+    AllocEvent, EventTracer, LatencyHistogram, MetricsRegistry, Obs, ObsEvent, ObsEventKind,
+    ObsLayer,
+};
 pub use stats::{FaultStats, IoKind, IoStats, KindCounters};
 pub use timemodel::TimeModel;
 pub use trace::{TraceDir, TraceEvent, TraceRecorder};

@@ -210,9 +210,13 @@ impl IoStats {
     }
 }
 
+/// Amplification ratio with a defined zero-denominator result. A store
+/// opened and closed without writes has no traffic to amplify; reporting
+/// the neutral 1.0 (rather than 0.0 or NaN) keeps `MWA = WA × AWA` exact
+/// and keeps exported metrics CSVs free of NaN.
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
-        0.0
+        1.0
     } else {
         num as f64 / den as f64
     }
@@ -298,11 +302,15 @@ mod tests {
     }
 
     #[test]
-    fn zero_denominators() {
+    fn zero_denominators_yield_neutral_ratio() {
+        // Open-and-close with no writes: amplification is defined (1.0),
+        // never NaN, and MWA == WA * AWA still holds.
         let s = IoStats::new();
-        assert_eq!(s.wa(), 0.0);
-        assert_eq!(s.awa(), 0.0);
-        assert_eq!(s.mwa(), 0.0);
+        assert_eq!(s.wa(), 1.0);
+        assert_eq!(s.awa(), 1.0);
+        assert_eq!(s.mwa(), 1.0);
+        assert!(s.wa().is_finite() && s.awa().is_finite() && s.mwa().is_finite());
+        assert!((s.mwa() - s.wa() * s.awa()).abs() < 1e-9);
     }
 
     #[test]

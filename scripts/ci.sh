@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability artifact: produce the metrics trajectory at smoke scale
+# and schema-check it (fails on missing keys or any NaN/Inf leak).
+cargo run -q --release -p bench -- --metrics-out BENCH_pr2.json --tiny
+cargo run -q --release -p bench -- --metrics-check BENCH_pr2.json

@@ -838,3 +838,56 @@ pub fn hasmr(scale: &BenchScale) -> Result<Report> {
     });
     Ok(report)
 }
+
+// ---------------------------------------------------------- Serve sweep
+
+/// Latency under load: the multi-client serving front-end sweeps offered
+/// load per store and reports throughput, tail latency, queue depth, and
+/// write stalls (the PR 3 `BENCH_pr3.json` artifact in table form).
+pub fn serve(scale: &BenchScale) -> Result<Report> {
+    let mut report = Report::new("Serve — latency under offered load (multi-client front-end)");
+    let sweeps = crate::serve_run::run_sweep(scale)?;
+    let mut rows = String::from(
+        "store,offered_ops_per_sec,throughput_ops_per_sec,p50_ms,p95_ms,p99_ms,max_ms,queue_depth_max,stalls,avg_group_size\n",
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    for sweep in &sweeps {
+        report.line(format!(
+            "{}: saturation {:.0} ops/s (closed loop, {} clients)",
+            sweep.store,
+            sweep.saturation_ops_per_sec,
+            crate::serve_run::CLIENTS
+        ));
+        for p in &sweep.points {
+            let r = &p.result;
+            report.line(format!(
+                "  offered {:>8.0} ops/s -> {:>8.0} ops/s, p50 {:>8.3} ms, p99 {:>9.3} ms, depth {:>3}, stalls {:>4}, group {:.2}",
+                p.offered_ops_per_sec,
+                r.throughput_ops_per_sec,
+                ms(r.latency.p50_ns),
+                ms(r.latency.p99_ns),
+                r.queue_depth_max,
+                r.stalls.total_count(),
+                r.avg_group_size(),
+            ));
+            rows.push_str(&format!(
+                "{},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{},{},{:.3}\n",
+                sweep.store,
+                p.offered_ops_per_sec,
+                r.throughput_ops_per_sec,
+                ms(r.latency.p50_ns),
+                ms(r.latency.p95_ns),
+                ms(r.latency.p99_ns),
+                ms(r.latency.max_ns),
+                r.queue_depth_max,
+                r.stalls.total_count(),
+                r.avg_group_size(),
+            ));
+        }
+    }
+    report.csvs.push(Csv {
+        name: "serve_latency_under_load.csv".into(),
+        content: rows,
+    });
+    Ok(report)
+}

@@ -15,11 +15,16 @@
 //!   --seed N         determinism seed
 //!   --out DIR        CSV output directory       (default results/)
 //!   --tiny           CI-speed smoke scale
+//!   --serving        canonical latency-under-load sweep scale
 //!   --metrics-out F  run the observability trajectory, write artifact F
 //!   --metrics-check F  validate a previously written artifact
+//!   --serve-out F    run the latency-under-load sweep, write artifact F
+//!   --serve-check F  validate a previously written serve artifact
 //! ```
 //!
-//! `--metrics-out` / `--metrics-check` work without an experiment name.
+//! `serve` as an experiment name runs the sweep and prints the latency
+//! table; `--metrics-out` / `--metrics-check` / `--serve-out` /
+//! `--serve-check` work without an experiment name.
 
 use bench::experiments::{self, Report};
 use bench::BenchScale;
@@ -29,6 +34,8 @@ use std::io::Write as _;
 struct MetricsArgs {
     out: Option<String>,
     check: Option<String>,
+    serve_out: Option<String>,
+    serve_check: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
@@ -56,6 +63,7 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--ycsb-ops" => scale.ycsb_ops = need(&mut i, &args),
             "--seed" => scale.seed = need(&mut i, &args),
             "--tiny" => scale = BenchScale::tiny(),
+            "--serving" => scale = BenchScale::serving(),
             "--out" => {
                 i += 1;
                 out_dir = args.get(i).cloned().unwrap_or(out_dir);
@@ -67,6 +75,14 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--metrics-check" => {
                 i += 1;
                 metrics.check = args.get(i).cloned();
+            }
+            "--serve-out" => {
+                i += 1;
+                metrics.serve_out = args.get(i).cloned();
+            }
+            "--serve-check" => {
+                i += 1;
+                metrics.serve_check = args.get(i).cloned();
             }
             other => experiments.push(other.to_string()),
         }
@@ -90,6 +106,7 @@ fn run_one(name: &str, scale: &BenchScale) -> Option<Report> {
         "fig14" => experiments::fig14(scale),
         "ablation" => experiments::ablation(scale),
         "hasmr" => experiments::hasmr(scale),
+        "serve" => experiments::serve(scale),
         _ => {
             eprintln!("unknown experiment: {name}");
             return None;
@@ -146,19 +163,56 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.serve_out {
+        let started = std::time::Instant::now();
+        match bench::serve_run::serve_sweep(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write serve artifact");
+                println!(
+                    "wrote serve artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("serve sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.serve_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read serve artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::serve_run::check_serve_json(&content);
+        if problems.is_empty() {
+            println!("serve artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("serve artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let (mut wanted, scale, out_dir, metrics) = parse_args();
-    if metrics.out.is_some() || metrics.check.is_some() {
+    if metrics.out.is_some()
+        || metrics.check.is_some()
+        || metrics.serve_out.is_some()
+        || metrics.serve_check.is_some()
+    {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
             return;
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: seal-bench <fig02|fig03|table2|fig08..fig14|all> [options]");
+        eprintln!("usage: seal-bench <fig02|fig03|table2|fig08..fig14|serve|all> [options]");
         eprintln!("       seal-bench --metrics-out FILE | --metrics-check FILE [options]");
+        eprintln!("       seal-bench --serve-out FILE | --serve-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

@@ -1,0 +1,628 @@
+//! # seal-front — a deterministic multi-client serving front-end
+//!
+//! The paper's db_bench-style experiments measure one client issuing
+//! operations back to back, so latency is pure service time. A serving
+//! deployment looks different: many clients, an offered load that does
+//! not care how fast the store is, a queue in front of the disk, and
+//! background compaction competing with foreground requests. This crate
+//! models that as a discrete-event simulation on the store's *simulated*
+//! clock — no threads, no wall time, so a (config, seed) pair always
+//! produces byte-identical results.
+//!
+//! The moving pieces, each borrowed from LevelDB's serving machinery:
+//!
+//! * **Virtual clients** issue YCSB-mix operations either *open-loop*
+//!   (seeded Poisson arrivals at a target rate, [`ArrivalProcess`]) or
+//!   *closed-loop* (wait for completion, think, reissue).
+//! * **Group commit** — writes waiting in the queue behind a serving
+//!   write are merged into its batch (`BuildBatchGroup`): one WAL
+//!   append, one sync, one contiguous sequence range for the group.
+//! * **Write backpressure** — the store runs in deferred-compaction
+//!   mode, so L0 slowdown/stop triggers and memtable-full stalls hit
+//!   the serving path exactly as they would a real writer, and the
+//!   front-end drives [`sealdb::Store::compact_step`] during idle gaps,
+//!   standing in for the background compaction thread.
+
+use lsm_core::util::rng::XorShift64;
+use lsm_core::{Result, StallStats, WriteBatch};
+use sealdb::Store;
+use smr_sim::ObsLayer;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use workloads::distributions::{Distribution, Latest, ScrambledZipfian, Uniform};
+use workloads::ycsb::{Dist, WorkloadSpec};
+use workloads::{ArrivalProcess, InterArrival, RecordGenerator};
+
+/// Configuration of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of virtual clients.
+    pub clients: usize,
+    /// Total operations to serve across all clients.
+    pub total_ops: u64,
+    /// Records preloaded into the store (the YCSB keyspace).
+    pub record_count: u64,
+    /// Operation mix and key distribution.
+    pub spec: WorkloadSpec,
+    /// Traffic shape (per client).
+    pub arrival: ArrivalProcess,
+    /// Seed for every RNG stream the run owns.
+    pub seed: u64,
+    /// Group-commit size cap in batch wire bytes (LevelDB: 1 MiB).
+    pub max_group_bytes: usize,
+    /// Whether idle gaps run background compaction steps.
+    pub idle_compaction: bool,
+}
+
+impl ServeConfig {
+    /// A serving run with the default group cap and idle compaction on.
+    pub fn new(
+        spec: WorkloadSpec,
+        arrival: ArrivalProcess,
+        clients: usize,
+        total_ops: u64,
+        record_count: u64,
+    ) -> Self {
+        ServeConfig {
+            clients,
+            total_ops,
+            record_count,
+            spec,
+            arrival,
+            seed: 0x5EA1F007,
+            max_group_bytes: 1 << 20,
+            idle_compaction: true,
+        }
+    }
+
+    /// Same run with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Exact latency summary from a complete sample vector (the obs layer's
+/// histograms are bucketed; serving percentiles are reported exactly).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a sample slice (sorted in place, nearest-rank
+    /// percentiles).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| -> u64 {
+            let idx = ((n as f64 * q).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        LatencySummary {
+            count: n as u64,
+            mean_ns: sum as f64 / n as f64,
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
+            max_ns: samples[n - 1],
+        }
+    }
+}
+
+/// Everything one serving run measured.
+#[derive(Clone, Debug)]
+pub struct ServeResult {
+    /// Display name of the store served.
+    pub store: &'static str,
+    /// Operations completed.
+    pub ops: u64,
+    /// Simulated duration of the serving phase, ns.
+    pub sim_ns: u64,
+    /// Completed operations per simulated second.
+    pub throughput_ops_per_sec: f64,
+    /// End-to-end latency (arrival → completion): queueing + service.
+    pub latency: LatencySummary,
+    /// Queueing delay alone (arrival → service start).
+    pub queue_delay: LatencySummary,
+    /// Deepest request queue observed at a service start.
+    pub queue_depth_max: usize,
+    /// Mean queue depth over service starts.
+    pub queue_depth_mean: f64,
+    /// `Store::write` calls issued (each is one WAL append + sync).
+    pub write_calls: u64,
+    /// Write operations carried by those calls (≥ `write_calls`; the
+    /// ratio is the group-commit amortisation factor).
+    pub write_ops: u64,
+    /// Largest write group merged.
+    pub max_group_len: usize,
+    /// Write stalls during the serving phase only.
+    pub stalls: StallStats,
+    /// Background compaction steps run in idle gaps.
+    pub idle_compactions: u64,
+    /// Point reads that found their key.
+    pub hits: u64,
+    /// Point reads that missed.
+    pub misses: u64,
+}
+
+impl ServeResult {
+    /// Mean write operations per WAL commit (1.0 = no grouping).
+    pub fn avg_group_size(&self) -> f64 {
+        if self.write_calls == 0 {
+            0.0
+        } else {
+            self.write_ops as f64 / self.write_calls as f64
+        }
+    }
+}
+
+/// One operation, decided at issue time so queued writes are visible to
+/// group commit.
+enum Op {
+    Get(Vec<u8>),
+    Write(WriteBatch),
+    Scan(Vec<u8>, usize),
+    Rmw(Vec<u8>, Vec<u8>),
+}
+
+/// A request sitting in the server's queue.
+struct Request {
+    arrival_ns: u64,
+    client: usize,
+    op: Op,
+}
+
+/// Shared operation-drawing state, mirroring `workloads::ycsb::run` so a
+/// serve run and a db_bench run draw from the same op/key streams.
+struct OpDraw<'a> {
+    gen: &'a RecordGenerator,
+    spec: WorkloadSpec,
+    op_rng: XorShift64,
+    key_rng: XorShift64,
+    dist: Box<dyn Distribution>,
+    n_now: u64,
+}
+
+impl<'a> OpDraw<'a> {
+    fn new(gen: &'a RecordGenerator, spec: WorkloadSpec, record_count: u64, seed: u64) -> Self {
+        let dist: Box<dyn Distribution> = match spec.dist {
+            Dist::Uniform => Box::new(Uniform),
+            Dist::Zipfian => Box::new(ScrambledZipfian::new(record_count)),
+            Dist::Latest => Box::new(Latest::new(record_count * 2)),
+        };
+        OpDraw {
+            gen,
+            spec,
+            op_rng: XorShift64::new(seed),
+            key_rng: XorShift64::new(seed ^ 0xDEADBEEF),
+            dist,
+            n_now: record_count,
+        }
+    }
+
+    fn draw(&mut self) -> Op {
+        let r = (self.op_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let m = &self.spec.mix;
+        if r < m.read {
+            let i = self.dist.next(&mut self.key_rng, self.n_now);
+            Op::Get(self.gen.key(i))
+        } else if r < m.read + m.update {
+            let i = self.dist.next(&mut self.key_rng, self.n_now);
+            let mut b = WriteBatch::new();
+            b.put(&self.gen.key(i), &self.gen.value(i));
+            Op::Write(b)
+        } else if r < m.read + m.update + m.insert {
+            let i = self.n_now;
+            self.n_now += 1;
+            let mut b = WriteBatch::new();
+            b.put(&self.gen.key(i), &self.gen.value(i));
+            Op::Write(b)
+        } else if r < m.read + m.update + m.insert + m.scan {
+            let i = self.dist.next(&mut self.key_rng, self.n_now);
+            let len = 1 + (self.key_rng.next_below(self.spec.max_scan_len as u64) as usize);
+            Op::Scan(self.gen.key(i), len)
+        } else {
+            let i = self.dist.next(&mut self.key_rng, self.n_now);
+            Op::Rmw(self.gen.key(i), self.gen.value(i))
+        }
+    }
+}
+
+fn advance_clock(store: &mut Store, ns: u64) {
+    store.db.ctx().lock().fs.disk_mut().advance_ns(ns);
+}
+
+/// Serves `cfg.total_ops` operations against a preloaded store and
+/// reports latency under the offered load.
+///
+/// The store is flipped into deferred-compaction (serve) mode for the
+/// duration and restored afterwards, so preload and any surrounding
+/// benchmark phases keep the original quiesce-on-write behavior.
+pub fn run_serve(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Result<ServeResult> {
+    assert!(cfg.clients > 0, "serve needs at least one client");
+    store.set_deferred_compaction(true);
+    let result = serve_loop(store, gen, cfg);
+    store.set_deferred_compaction(false);
+    result
+}
+
+fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Result<ServeResult> {
+    let start = store.clock_ns();
+    let stalls_before = store.stall_stats();
+    let mut draw = OpDraw::new(gen, cfg.spec, cfg.record_count, cfg.seed);
+
+    // Per-client traffic state: gap generator and unissued-op quota.
+    let mut gaps: Vec<InterArrival> = (0..cfg.clients)
+        .map(|c| InterArrival::new(cfg.arrival, cfg.seed ^ (0xC11E57 + c as u64 * 0x9E3779B9)))
+        .collect();
+    let mut remaining: Vec<u64> = {
+        let base = cfg.total_ops / cfg.clients as u64;
+        let extra = (cfg.total_ops % cfg.clients as u64) as usize;
+        (0..cfg.clients)
+            .map(|c| base + u64::from(c < extra))
+            .collect()
+    };
+    let open_loop = matches!(cfg.arrival, ArrivalProcess::OpenLoopPoisson { .. });
+
+    // Future arrivals, ordered by (time, admission index) — the index
+    // breaks ties deterministically.
+    let mut arrivals: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut next_idx = 0u64;
+    for c in 0..cfg.clients {
+        if remaining[c] == 0 {
+            continue;
+        }
+        let t = if open_loop { start + gaps[c].next_gap_ns() } else { start };
+        arrivals.push(Reverse((t, next_idx, c)));
+        next_idx += 1;
+        remaining[c] -= 1;
+    }
+
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.total_ops as usize);
+    let mut queue_delays: Vec<u64> = Vec::with_capacity(cfg.total_ops as usize);
+    let mut depth_max = 0usize;
+    let mut depth_sum = 0u64;
+    let mut depth_samples = 0u64;
+    let mut write_calls = 0u64;
+    let mut write_ops = 0u64;
+    let mut max_group_len = 0usize;
+    let mut idle_compactions = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut completed = 0u64;
+
+    while completed < cfg.total_ops {
+        // Admit every arrival at or before the current clock. Open-loop
+        // clients immediately schedule their next arrival (the offered
+        // load ignores completions); closed-loop clients reschedule at
+        // completion time below.
+        let now = store.clock_ns();
+        while let Some(&Reverse((t, _, c))) = arrivals.peek() {
+            if t > now {
+                break;
+            }
+            arrivals.pop();
+            pending.push_back(Request { arrival_ns: t, client: c, op: draw.draw() });
+            if open_loop && remaining[c] > 0 {
+                arrivals.push(Reverse((t + gaps[c].next_gap_ns(), next_idx, c)));
+                next_idx += 1;
+                remaining[c] -= 1;
+            }
+        }
+
+        if pending.is_empty() {
+            // Idle until the next arrival: spend the gap on background
+            // compaction (the stand-in for LevelDB's compaction thread
+            // sharing the disk), then advance the clock the rest of the
+            // way. A compaction may overshoot the arrival — then the
+            // request queues behind it, exactly like a foreground write
+            // behind a busy disk.
+            let Some(&Reverse((t, _, _))) = arrivals.peek() else {
+                break;
+            };
+            if cfg.idle_compaction {
+                while store.clock_ns() < t && store.needs_compaction() {
+                    if !store.compact_step()? {
+                        break;
+                    }
+                    idle_compactions += 1;
+                }
+            }
+            let now = store.clock_ns();
+            if now < t {
+                advance_clock(store, t - now);
+            }
+            continue;
+        }
+
+        // Serve the head request; a write absorbs queued writes behind
+        // it (group commit).
+        depth_max = depth_max.max(pending.len());
+        depth_sum += pending.len() as u64;
+        depth_samples += 1;
+        let service_start = store.clock_ns();
+        let head = pending.pop_front().expect("non-empty queue");
+        let mut members: Vec<(u64, usize)> = vec![(head.arrival_ns, head.client)];
+        match head.op {
+            Op::Write(mut batch) => {
+                loop {
+                    let fits = match pending.front() {
+                        Some(next) => match &next.op {
+                            Op::Write(b) => {
+                                batch.byte_size() + b.byte_size() <= cfg.max_group_bytes
+                            }
+                            _ => false,
+                        },
+                        None => false,
+                    };
+                    if !fits {
+                        break;
+                    }
+                    let next = pending.pop_front().expect("checked front");
+                    let Op::Write(b) = next.op else { unreachable!("checked write") };
+                    batch.append(&b);
+                    members.push((next.arrival_ns, next.client));
+                }
+                write_calls += 1;
+                write_ops += members.len() as u64;
+                max_group_len = max_group_len.max(members.len());
+                store.write(batch)?;
+            }
+            Op::Get(key) => {
+                if store.get(&key)?.is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            Op::Scan(key, len) => {
+                store.scan(&key, len)?;
+            }
+            Op::Rmw(key, value) => {
+                if store.get(&key)?.is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                store.put(&key, &value)?;
+            }
+        }
+        let done = store.clock_ns();
+        for &(arrival, client) in &members {
+            latencies.push(done - arrival);
+            queue_delays.push(service_start - arrival);
+            completed += 1;
+            if !open_loop && remaining[client] > 0 {
+                arrivals.push(Reverse((done + gaps[client].next_gap_ns(), next_idx, client)));
+                next_idx += 1;
+                remaining[client] -= 1;
+            }
+        }
+    }
+
+    let sim_ns = store.clock_ns() - start;
+    let stalls = store.stall_stats().delta_since(&stalls_before);
+    let latency = LatencySummary::from_samples(&mut latencies);
+    let queue_delay = LatencySummary::from_samples(&mut queue_delays);
+    let queue_depth_mean = if depth_samples == 0 {
+        0.0
+    } else {
+        depth_sum as f64 / depth_samples as f64
+    };
+    let result = ServeResult {
+        store: store.name(),
+        ops: completed,
+        sim_ns,
+        throughput_ops_per_sec: if sim_ns == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / sim_ns as f64
+        },
+        latency,
+        queue_delay,
+        queue_depth_max: depth_max,
+        queue_depth_mean,
+        write_calls,
+        write_ops,
+        max_group_len,
+        stalls,
+        idle_compactions,
+        hits,
+        misses,
+    };
+    publish_obs(store, &result, &latencies, &queue_delays);
+    Ok(result)
+}
+
+/// Mirrors the run into the store's observability bundle under the
+/// frontend layer: exact sample vectors feed the bucketed histograms,
+/// scalars become counters/gauges, so `metrics_snapshot` exports carry
+/// the serving view alongside every other layer.
+fn publish_obs(store: &mut Store, r: &ServeResult, latencies: &[u64], queue_delays: &[u64]) {
+    let ctx = store.db.ctx();
+    let mut guard = ctx.lock();
+    let obs = guard.fs.disk_mut().obs_mut();
+    for &ns in latencies {
+        obs.latency(ObsLayer::Frontend, "latency_ns", ns);
+    }
+    for &ns in queue_delays {
+        obs.latency(ObsLayer::Frontend, "queue_delay_ns", ns);
+    }
+    obs.counter_add(ObsLayer::Frontend, "ops", r.ops);
+    obs.counter_add(ObsLayer::Frontend, "write_calls", r.write_calls);
+    obs.counter_add(ObsLayer::Frontend, "write_ops", r.write_ops);
+    obs.counter_add(ObsLayer::Frontend, "idle_compactions", r.idle_compactions);
+    obs.gauge_set(ObsLayer::Frontend, "queue_depth_max", r.queue_depth_max as f64);
+    obs.gauge_set(ObsLayer::Frontend, "queue_depth_mean", r.queue_depth_mean);
+    obs.gauge_set(ObsLayer::Frontend, "throughput_ops_per_sec", r.throughput_ops_per_sec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealdb::{StoreConfig, StoreKind};
+    use workloads::micro::fill_random;
+
+    fn preloaded(kind: StoreKind, gen: &RecordGenerator, n: u64) -> Store {
+        let mut store = StoreConfig::new(kind, 32 << 10, 1 << 30).build().unwrap();
+        fill_random(&mut store, gen, n, 3).unwrap();
+        store
+    }
+
+    fn run(kind: StoreKind, cfg: &ServeConfig, gen: &RecordGenerator) -> ServeResult {
+        let mut store = preloaded(kind, gen, cfg.record_count);
+        run_serve(&mut store, gen, cfg).unwrap()
+    }
+
+    #[test]
+    fn closed_loop_serves_all_ops() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let cfg = ServeConfig::new(
+            WorkloadSpec::a(),
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            4,
+            400,
+            1000,
+        );
+        let r = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(r.ops, 400);
+        assert!(r.sim_ns > 0);
+        assert!(r.throughput_ops_per_sec > 0.0);
+        assert_eq!(r.misses, 0, "closed keyspace must not miss");
+        assert_eq!(r.latency.count, 400);
+        assert!(r.latency.p95_ns >= r.latency.p50_ns);
+        assert!(r.latency.max_ns >= r.latency.p99_ns);
+    }
+
+    #[test]
+    fn group_commit_merges_concurrent_writers() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        // Write-only mix, 8 clients hammering with zero think time: every
+        // service round finds the other clients' writes queued behind the
+        // head, so groups must form.
+        let mut spec = WorkloadSpec::a();
+        spec.mix.read = 0.0;
+        spec.mix.update = 1.0;
+        let cfg = ServeConfig::new(
+            spec,
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            8,
+            400,
+            800,
+        );
+        let r = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(r.ops, 400);
+        assert_eq!(r.write_ops, 400);
+        assert!(
+            r.write_calls < r.write_ops,
+            "no grouping: {} calls for {} writes",
+            r.write_calls,
+            r.write_ops
+        );
+        assert!(r.max_group_len > 1);
+        assert!(r.avg_group_size() > 1.5, "avg group {}", r.avg_group_size());
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let cfg = ServeConfig::new(
+            WorkloadSpec::b(),
+            ArrivalProcess::OpenLoopPoisson { ops_per_sec: 300.0 },
+            4,
+            300,
+            1000,
+        );
+        let a = run(StoreKind::SealDb, &cfg, &gen);
+        let b = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(a.sim_ns, b.sim_ns);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.queue_delay, b.queue_delay);
+        assert_eq!(a.throughput_ops_per_sec.to_bits(), b.throughput_ops_per_sec.to_bits());
+        assert_eq!(a.write_calls, b.write_calls);
+        assert_eq!(a.stalls, b.stalls);
+        // A different seed shifts the schedule.
+        let c = run(StoreKind::SealDb, &cfg.clone().with_seed(99), &gen);
+        assert_ne!(a.latency, c.latency);
+    }
+
+    #[test]
+    fn overload_inflates_tail_latency() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let spec = WorkloadSpec::a();
+        let n = 1000u64;
+        // Measure saturation throughput closed-loop, then offer well
+        // below and well above it open-loop.
+        let closed = ServeConfig::new(
+            spec,
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            4,
+            300,
+            n,
+        );
+        let sat = run(StoreKind::SealDb, &closed, &gen).throughput_ops_per_sec;
+        let at = |x: f64| {
+            let cfg = ServeConfig::new(
+                spec,
+                ArrivalProcess::OpenLoopPoisson { ops_per_sec: sat * x / 4.0 },
+                4,
+                300,
+                n,
+            );
+            run(StoreKind::SealDb, &cfg, &gen)
+        };
+        let light = at(0.3);
+        let heavy = at(2.0);
+        assert!(
+            heavy.latency.p99_ns > light.latency.p99_ns,
+            "overload p99 {} must exceed light-load p99 {}",
+            heavy.latency.p99_ns,
+            light.latency.p99_ns
+        );
+        assert!(
+            heavy.queue_delay.mean_ns > light.queue_delay.mean_ns,
+            "overload must queue"
+        );
+        assert!(heavy.queue_depth_max >= light.queue_depth_max);
+    }
+
+    #[test]
+    fn frontend_metrics_reach_the_obs_layer() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let cfg = ServeConfig::new(
+            WorkloadSpec::a(),
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            2,
+            200,
+            500,
+        );
+        let mut store = preloaded(StoreKind::SealDb, &gen, cfg.record_count);
+        let r = run_serve(&mut store, &gen, &cfg).unwrap();
+        let m = store.metrics_snapshot();
+        let h = m.obs.histogram(ObsLayer::Frontend, "latency_ns").unwrap();
+        assert_eq!(h.count(), r.ops);
+        assert_eq!(m.obs.registry.counter(ObsLayer::Frontend, "ops"), r.ops);
+        assert_eq!(
+            m.obs.registry.counter(ObsLayer::Frontend, "write_calls"),
+            r.write_calls
+        );
+        assert!(m.obs.registry.gauge(ObsLayer::Frontend, "throughput_ops_per_sec") > 0.0);
+    }
+}

@@ -62,6 +62,22 @@ impl WriteBatch {
         self.rep[..8].copy_from_slice(&seq.to_le_bytes());
     }
 
+    /// Appends every record of `other` to this batch, preserving record
+    /// order — LevelDB's `BuildBatchGroup` merge step. The combined batch
+    /// is logged as one WAL record and receives one contiguous sequence
+    /// range, so group commit amortises the positional sync cost over all
+    /// merged writers.
+    pub fn append(&mut self, other: &WriteBatch) {
+        self.set_count(self.count() + other.count());
+        self.rep.extend_from_slice(&other.rep[HEADER..]);
+        self.payload += other.payload;
+    }
+
+    /// Wire-format size in bytes (group-commit size cap accounting).
+    pub fn byte_size(&self) -> usize {
+        self.rep.len()
+    }
+
     /// User payload bytes (key + value sizes) — the paper's `WA`
     /// denominator.
     pub fn payload_bytes(&self) -> u64 {
@@ -211,6 +227,46 @@ mod tests {
         let mut rep = b.rep().to_vec();
         rep[8] = 9;
         assert!(WriteBatch::decode(&rep).is_err());
+    }
+
+    #[test]
+    fn append_merges_in_order_with_contiguous_sequences() {
+        let mut leader = WriteBatch::new();
+        leader.put(b"a", b"1");
+        let mut w2 = WriteBatch::new();
+        w2.put(b"b", b"2");
+        w2.delete(b"a");
+        let mut w3 = WriteBatch::new();
+        w3.put(b"c", b"3");
+        leader.append(&w2);
+        leader.append(&w3);
+        leader.set_sequence(50);
+        assert_eq!(leader.count(), 4);
+        assert_eq!(
+            leader.payload_bytes(),
+            2 + 2 + 1 + 2 // a1, b2, a, c3
+        );
+        // Records keep writer order and sequences are contiguous from the
+        // leader's base — the group-commit invariant.
+        let items: Vec<_> = leader.iter().collect();
+        assert_eq!(items[0], (50, ValueType::Value, &b"a"[..], &b"1"[..]));
+        assert_eq!(items[1], (51, ValueType::Value, &b"b"[..], &b"2"[..]));
+        assert_eq!(items[2], (52, ValueType::Deletion, &b"a"[..], &b""[..]));
+        assert_eq!(items[3], (53, ValueType::Value, &b"c"[..], &b"3"[..]));
+        // The merged rep is still a valid wire batch.
+        let d = WriteBatch::decode(leader.rep()).unwrap();
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.payload_bytes(), leader.payload_bytes());
+    }
+
+    #[test]
+    fn append_empty_is_noop() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        let before = b.rep().to_vec();
+        b.append(&WriteBatch::new());
+        assert_eq!(b.rep(), &before[..]);
+        assert!(b.byte_size() >= before.len());
     }
 
     #[test]

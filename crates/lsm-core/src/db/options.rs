@@ -21,6 +21,25 @@ pub struct Options {
     pub num_levels: usize,
     /// L0 file-count compaction trigger (LevelDB: 4).
     pub l0_compaction_trigger: usize,
+    /// L0 file count at which each write is delayed once by
+    /// `slowdown_penalty_ns` (LevelDB's `kL0_SlowdownWritesTrigger`, 8).
+    /// Only observed in deferred-compaction mode.
+    pub l0_slowdown_trigger: usize,
+    /// L0 file count at which writes stop until compaction brings the
+    /// count back down (LevelDB's `kL0_StopWritesTrigger`, 12). Only
+    /// observed in deferred-compaction mode.
+    pub l0_stop_trigger: usize,
+    /// Simulated delay applied once per write while the slowdown trigger
+    /// is tripped (LevelDB sleeps 1 ms).
+    pub slowdown_penalty_ns: u64,
+    /// When true, writes no longer run compactions to quiescence inline.
+    /// The write path applies LevelDB's backpressure (slowdown, stop,
+    /// memtable-full stalls) and a caller — the serving front-end's idle
+    /// loop, standing in for the background thread — drives compactions
+    /// via [`crate::DbCore::compact_step`]. When false (the default) the
+    /// engine keeps the original quiesce-on-write behavior the paper's
+    /// db_bench-style experiments rely on.
+    pub deferred_compaction: bool,
     /// L1 byte budget; level i allows `base * AF^(i-1)`.
     pub level_base_bytes: u64,
     /// The paper's amplification factor AF between adjacent levels (10).
@@ -63,6 +82,10 @@ impl Options {
             bloom_bits_per_key: 0,
             num_levels: 7,
             l0_compaction_trigger: 4,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 12,
+            slowdown_penalty_ns: 1_000_000,
+            deferred_compaction: false,
             level_base_bytes: 10 * sstable_size,
             level_multiplier: 10,
             max_grandparent_overlap_bytes: 10 * sstable_size,
@@ -108,6 +131,12 @@ impl Options {
         }
         if self.l0_compaction_trigger == 0 {
             return Err("l0_compaction_trigger must be positive".into());
+        }
+        if self.l0_slowdown_trigger < self.l0_compaction_trigger {
+            return Err("l0_slowdown_trigger must be at least the compaction trigger".into());
+        }
+        if self.l0_stop_trigger <= self.l0_slowdown_trigger {
+            return Err("l0_stop_trigger must exceed l0_slowdown_trigger".into());
         }
         if self.level_multiplier < 2 {
             return Err("level_multiplier (AF) must be at least 2".into());

@@ -38,7 +38,10 @@ pub mod util;
 pub mod version;
 pub mod wal;
 
-pub use db::{batch::WriteBatch, options::Options, CompactionRecord, DbCore, RecoveryReport, Snapshot};
+pub use db::{
+    batch::WriteBatch, options::Options, CompactionRecord, DbCore, RecoveryReport, Snapshot,
+    StallStats,
+};
 pub use error::{Error, Result};
 pub use filestore::{CrashImage, FileStore};
 pub use policy::{GcConfig, GcReport, PerFilePolicy, PlacementPolicy, SetStats};

@@ -69,6 +69,11 @@ pub struct StoreConfig {
     /// Overrides the disk layout chosen by the kind (e.g. Fig. 2 runs
     /// LevelDB on a conventional HDD).
     pub layout_override: Option<Layout>,
+    /// Serve mode: writes apply LevelDB-style backpressure (slowdown /
+    /// stop / memtable stalls) instead of compacting inline, and the
+    /// serving front-end drives compaction via [`Store::compact_step`]
+    /// during idle gaps.
+    pub deferred_compaction: bool,
 }
 
 impl StoreConfig {
@@ -82,7 +87,14 @@ impl StoreConfig {
             wal: true,
             seed: 0x5EA1DB,
             layout_override: None,
+            deferred_compaction: false,
         }
+    }
+
+    /// Same configuration in serve mode (see `deferred_compaction`).
+    pub fn serving(mut self) -> Self {
+        self.deferred_compaction = true;
+        self
     }
 
     /// Band size in bytes.
@@ -107,6 +119,7 @@ impl StoreConfig {
         };
         o.wal_enabled = self.wal;
         o.seed = self.seed;
+        o.deferred_compaction = self.deferred_compaction;
         o
     }
 

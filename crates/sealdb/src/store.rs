@@ -100,6 +100,13 @@ impl Store {
         self.db.put(key, value)
     }
 
+    /// Applies a write batch atomically — the uniform multi-op write
+    /// entry point every store kind exposes to the serving front-end
+    /// (group commit merges concurrent writers into one such batch).
+    pub fn write(&mut self, batch: lsm_core::WriteBatch) -> Result<()> {
+        self.db.write(batch)
+    }
+
     /// Point lookup.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.db.get(key)
@@ -169,6 +176,30 @@ impl Store {
             kind: self.kind,
             db,
         })
+    }
+
+    /// Cumulative write-stall accounting (slowdown / stop / memtable
+    /// stalls); only advances in serve mode.
+    pub fn stall_stats(&self) -> lsm_core::StallStats {
+        self.db.stall_stats()
+    }
+
+    /// Whether any level is over its compaction budget.
+    pub fn needs_compaction(&self) -> bool {
+        self.db.needs_compaction()
+    }
+
+    /// Flips serve mode on or off (see
+    /// [`lsm_core::DbCore::set_deferred_compaction`]).
+    pub fn set_deferred_compaction(&mut self, on: bool) {
+        self.db.set_deferred_compaction(on)
+    }
+
+    /// Runs one background-compaction step; returns whether any work was
+    /// done. The serving front-end calls this in idle gaps, standing in
+    /// for LevelDB's background thread.
+    pub fn compact_step(&mut self) -> Result<bool> {
+        self.db.compact_step()
     }
 
     /// Display name.

@@ -38,6 +38,8 @@ pub enum ObsLayer {
     Placement,
     /// Store facade: end-to-end operation latencies.
     Store,
+    /// Serving front-end: request queueing, group commit, admission.
+    Frontend,
 }
 
 impl ObsLayer {
@@ -50,6 +52,7 @@ impl ObsLayer {
             ObsLayer::Cache => "cache",
             ObsLayer::Placement => "placement",
             ObsLayer::Store => "store",
+            ObsLayer::Frontend => "frontend",
         }
     }
 }
@@ -89,6 +92,15 @@ pub enum ObsEventKind {
     InjectedWriteFailure,
     /// Garbage collection relocated a set. a = set id, b = bytes moved.
     GcRelocate,
+    /// Write delayed by the L0 slowdown trigger. a = L0 file count,
+    /// b = penalty ns.
+    WriteSlowdown,
+    /// Write stopped at the L0 stop trigger until compaction caught up.
+    /// a = L0 file count at entry, b = stall ns.
+    WriteStop,
+    /// Write waited for a full memtable to flush. a = L0 file count after
+    /// the flush, b = stall ns.
+    MemtableStall,
 }
 
 impl ObsEventKind {
@@ -109,6 +121,9 @@ impl ObsEventKind {
             ObsEventKind::TransientReadError => "transient-read-error",
             ObsEventKind::InjectedWriteFailure => "injected-write-failure",
             ObsEventKind::GcRelocate => "gc-relocate",
+            ObsEventKind::WriteSlowdown => "write-slowdown",
+            ObsEventKind::WriteStop => "write-stop",
+            ObsEventKind::MemtableStall => "memtable-stall",
         }
     }
 }

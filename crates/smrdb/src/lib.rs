@@ -48,6 +48,11 @@ pub fn smrdb_options(band_size: u64) -> Options {
     let mut o = Options::scaled(table);
     o.num_levels = 2;
     o.l0_compaction_trigger = L0_TRIGGER;
+    // Preserve LevelDB's 1:2:3 trigger/slowdown/stop ratio at SMRDB's
+    // larger L0 trigger so serving backpressure scales with band-sized
+    // flushes instead of firing on every one.
+    o.l0_slowdown_trigger = 2 * L0_TRIGGER;
+    o.l0_stop_trigger = 3 * L0_TRIGGER;
     // Level 1 is terminal; its budget is irrelevant but kept huge so the
     // score computation never considers it.
     o.level_base_bytes = u64::MAX / 4;

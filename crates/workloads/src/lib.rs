@@ -6,11 +6,13 @@
 //! reproduces both against any [`sealdb::Store`], with throughput
 //! computed from the *simulated* disk clock so results are deterministic.
 
+pub mod arrivals;
 pub mod distributions;
 pub mod generator;
 pub mod micro;
 pub mod ycsb;
 
+pub use arrivals::{ArrivalProcess, InterArrival};
 pub use distributions::{Distribution, Latest, ScrambledZipfian, Uniform, Zipfian};
 pub use generator::RecordGenerator;
 pub use micro::{fill_random, fill_seq, permute, read_random, read_seq, MicroResult};

@@ -51,6 +51,11 @@ pub struct WorkloadSpec {
     pub dist: Dist,
     /// Maximum scan length (workload E; YCSB default 100).
     pub max_scan_len: usize,
+    /// Target offered load per client in ops per simulated second for
+    /// the serving front-end's open-loop mode; 0.0 (the default) means
+    /// unpaced — `run` issues back-to-back and the front-end falls back
+    /// to closed-loop traffic.
+    pub ops_per_sec: f64,
 }
 
 impl WorkloadSpec {
@@ -61,6 +66,7 @@ impl WorkloadSpec {
             mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
             dist: Dist::Zipfian,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
     }
 
@@ -71,6 +77,7 @@ impl WorkloadSpec {
             mix: Mix { read: 0.95, update: 0.05, insert: 0.0, scan: 0.0, rmw: 0.0 },
             dist: Dist::Zipfian,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
     }
 
@@ -81,6 +88,7 @@ impl WorkloadSpec {
             mix: Mix { read: 1.0, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.0 },
             dist: Dist::Zipfian,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
     }
 
@@ -91,6 +99,7 @@ impl WorkloadSpec {
             mix: Mix { read: 0.95, update: 0.0, insert: 0.05, scan: 0.0, rmw: 0.0 },
             dist: Dist::Latest,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
     }
 
@@ -101,6 +110,7 @@ impl WorkloadSpec {
             mix: Mix { read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, rmw: 0.0 },
             dist: Dist::Zipfian,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
     }
 
@@ -111,7 +121,33 @@ impl WorkloadSpec {
             mix: Mix { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.5 },
             dist: Dist::Zipfian,
             max_scan_len: 100,
+            ops_per_sec: 0.0,
         }
+    }
+
+    /// The serving-sweep mix: 50% point reads, 50% inserts (zipfian
+    /// reads over a keyspace the inserts keep growing). Reads make
+    /// latency visible while the ingest stream exercises the write path
+    /// — group commit, flushes, L0 backpressure — and keeps level 0
+    /// populated, so no store serves reads from an artificially
+    /// quiesced tree. Zipfian *updates* are deliberately absent: a
+    /// band-sized memtable absorbs a hot update stream wholesale, which
+    /// measures buffer capacity rather than serving capacity.
+    pub fn serve_mix() -> Self {
+        WorkloadSpec {
+            name: "S",
+            mix: Mix { read: 0.5, update: 0.0, insert: 0.5, scan: 0.0, rmw: 0.0 },
+            dist: Dist::Zipfian,
+            max_scan_len: 100,
+            ops_per_sec: 0.0,
+        }
+    }
+
+    /// The same workload paced at `ops_per_sec` per client (selects the
+    /// front-end's open-loop Poisson arrivals).
+    pub fn with_rate(mut self, ops_per_sec: f64) -> Self {
+        self.ops_per_sec = ops_per_sec;
+        self
     }
 
     /// The six workloads of the paper's Fig. 9, in order.
@@ -274,6 +310,7 @@ mod dist_plumbing_tests {
             mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
             dist: Dist::Uniform,
             max_scan_len: 10,
+            ops_per_sec: 0.0,
         };
         let r = run(&mut store, &gen, &spec, n, 400, 5).unwrap();
         assert_eq!(r.misses, 0);

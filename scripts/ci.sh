@@ -12,3 +12,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 # and schema-check it (fails on missing keys or any NaN/Inf leak).
 cargo run -q --release -p bench -- --metrics-out BENCH_pr2.json --tiny
 cargo run -q --release -p bench -- --metrics-check BENCH_pr2.json
+
+# Serving artifact: the canonical latency-under-load sweep, then the
+# schema check (required keys, no NaN/Inf) and the headline property —
+# SEALDB sustains the highest saturation throughput of the three stores.
+cargo run -q --release -p bench -- --serve-out BENCH_pr3.json --serving
+cargo run -q --release -p bench -- --serve-check BENCH_pr3.json
+sats=$(grep -o '"saturation_ops_per_sec":[0-9.]*' BENCH_pr3.json | cut -d: -f2)
+echo "$sats" | awk 'NR==1{l=$1} NR==2{m=$1} NR==3{s=$1}
+    END { if (NR != 3 || s <= l || s <= m) {
+              printf "SEALDB saturation %s not highest (LevelDB %s, SMRDB %s)\n", s, l, m
+              exit 1
+          }
+          printf "serve saturation ok: SEALDB %s > LevelDB %s, SMRDB %s\n", s, l, m }'

@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! cargo run --release --bin sealdb-cli [-- --store sealdb|leveldb|smrdb|leveldb-sets]
+//! cargo run --release --bin sealdb-cli -- serve [--seed N] [--metrics-out FILE]
 //! ```
 //!
-//! Commands:
+//! `serve` skips the shell: it runs a small latency-under-load sweep
+//! (multi-client YCSB-A against every main store), prints the latency
+//! table, and with `--metrics-out` writes the same JSON artifact
+//! `seal-bench --serve-out` produces.
+//!
+//! Interactive commands:
 //!
 //! ```text
 //! put <key> <value>        insert or overwrite
@@ -99,8 +105,75 @@ fn print_layout(store: &Store) {
     }
 }
 
+/// `sealdb-cli serve`: a non-interactive small-scale serving sweep with
+/// a human-readable latency table, mirroring `seal-bench serve` but at a
+/// scale that finishes in seconds.
+fn run_serve(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    // The canonical sweep scale (~17 s): the same configuration CI uses
+    // for BENCH_pr3.json, so the shell shows the headline curve.
+    let mut scale = bench::BenchScale::serving();
+    if let Some(seed) = flag("--seed").and_then(|s| s.parse().ok()) {
+        scale.seed = seed;
+    }
+    println!(
+        "serving sweep: YCSB-A, {} clients, {} preloaded records, {} ops per load point, seed {}",
+        bench::serve_run::CLIENTS,
+        scale.load_records(),
+        scale.ycsb_ops,
+        scale.seed
+    );
+    let sweeps = match bench::serve_run::run_sweep(&scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for sweep in &sweeps {
+        println!(
+            "\n{} — saturation {:.0} op/s (closed loop, zero think time)",
+            sweep.store, sweep.saturation_ops_per_sec
+        );
+        println!(
+            "  {:>11} {:>11} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}",
+            "offered/s", "served/s", "p50 ms", "p95 ms", "p99 ms", "depth", "stalls", "group"
+        );
+        for p in &sweep.points {
+            let r = &p.result;
+            println!(
+                "  {:>11.0} {:>11.0} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6.2}",
+                p.offered_ops_per_sec,
+                r.throughput_ops_per_sec,
+                r.latency.p50_ns as f64 / 1e6,
+                r.latency.p95_ns as f64 / 1e6,
+                r.latency.p99_ns as f64 / 1e6,
+                r.queue_depth_max,
+                r.stalls.total_count(),
+                r.avg_group_size()
+            );
+        }
+    }
+    if let Some(path) = flag("--metrics-out") {
+        let json = bench::serve_run::sweep_to_json(&scale, &sweeps);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write serve artifact {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote serve artifact {path} ({} bytes)", json.len());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().skip(1).any(|a| a == "serve") {
+        run_serve(&args);
+        return;
+    }
     let kind = parse_store(&args);
     let mut store = StoreConfig::new(kind, 256 << 10, 2 << 30)
         .build()

@@ -1,0 +1,40 @@
+//! Cross-crate determinism contract for the serving front-end: the
+//! `seal-bench serve` sweep rides the simulated clock only, so two runs
+//! with the same seed must serialize byte-identical `BENCH_pr3.json`
+//! artifacts, and a different seed must actually change the measured
+//! curve (no hidden constant output).
+
+use bench::{serve_run, BenchScale};
+
+/// A sweep small enough for a debug-mode double run: the disk must
+/// still clear the 16 MiB log-zone floor with room for the deferred
+/// level-0 buildup the serving phase provokes.
+fn small_scale() -> BenchScale {
+    let mut s = BenchScale::tiny();
+    s.load_bytes = 4 << 20;
+    s.capacity_ratio = 12;
+    s.ycsb_ops = 300;
+    s
+}
+
+#[test]
+fn same_seed_double_run_is_byte_identical() {
+    let first = serve_run::serve_sweep(&small_scale()).expect("first sweep");
+    let second = serve_run::serve_sweep(&small_scale()).expect("second sweep");
+    assert_eq!(
+        first, second,
+        "same-seed serve sweeps must serialize byte-identically"
+    );
+    let problems = serve_run::check_serve_json(&first);
+    assert!(problems.is_empty(), "artifact invalid: {problems:?}");
+}
+
+#[test]
+fn seed_changes_the_measured_curve() {
+    let base = serve_run::serve_sweep(&small_scale()).expect("base sweep");
+    let mut reseeded = small_scale();
+    reseeded.seed ^= 0xBAD5EED;
+    let other = serve_run::serve_sweep(&reseeded).expect("reseeded sweep");
+    assert!(serve_run::check_serve_json(&other).is_empty());
+    assert_ne!(base, other, "a different seed must change the artifact");
+}

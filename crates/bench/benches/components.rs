@@ -13,7 +13,9 @@ use workloads::{Distribution, ScrambledZipfian};
 
 fn bench_crc32c() {
     let data = vec![0xA5u8; 64 * 1024];
-    bench("crc32c/64KiB", || crc32c::crc32c(std::hint::black_box(&data)));
+    bench("crc32c/64KiB", || {
+        crc32c::crc32c(std::hint::black_box(&data))
+    });
 }
 
 fn bench_bloom() {

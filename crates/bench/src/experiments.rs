@@ -123,7 +123,8 @@ pub fn fig02(scale: &BenchScale) -> Result<Report> {
 /// SSTables written and distinct bands touched per compaction and
 /// (b) WA and MWA.
 pub fn fig03(scale: &BenchScale) -> Result<Report> {
-    let mut report = Report::new("Fig. 3 — SSTable/band distribution and amplification vs band size");
+    let mut report =
+        Report::new("Fig. 3 — SSTable/band distribution and amplification vs band size");
     let ratios: Vec<u64> = vec![5, 8, 10, 12, 15];
     let mut rows = String::from(
         "band_sstables,band_mb,avg_sstables_per_compaction,avg_bands_per_compaction,wa,awa,mwa\n",
@@ -142,18 +143,27 @@ pub fn fig03(scale: &BenchScale) -> Result<Report> {
                     cfg.seed = scale.seed;
                     let mut store = cfg.build().expect("build");
                     let gen = scale.generator();
-                    fill_random(&mut store, &gen, scale.load_records(), scale.seed)
-                        .expect("load");
+                    fill_random(&mut store, &gen, scale.load_records(), scale.seed).expect("load");
                     let snap = store.snapshot();
                     let real: Vec<_> = snap.real_compactions().collect();
                     let n = real.len().max(1) as f64;
                     let avg_files = real.iter().map(|c| c.output_files as f64).sum::<f64>() / n;
                     let avg_bands = real.iter().map(|c| c.output_bands as f64).sum::<f64>() / n;
-                    (r, avg_files, avg_bands, snap.io.wa(), snap.io.awa(), snap.io.mwa())
+                    (
+                        r,
+                        avg_files,
+                        avg_bands,
+                        snap.io.wa(),
+                        snap.io.awa(),
+                        snap.io.mwa(),
+                    )
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
     });
     for (r, avg_files, avg_bands, wa, awa, mwa) in outcomes {
         let band_mb = (r * scale.sstable) as f64 / MB;
@@ -179,7 +189,11 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
     let cap = scale.disk_capacity().max(4 << 30);
     let mut rows = String::from("device,metric,value,unit\n");
 
-    let run = |name: &str, model: TimeModel, layout: Layout, rows: &mut String, report: &mut Report| {
+    let run = |name: &str,
+               model: TimeModel,
+               layout: Layout,
+               rows: &mut String,
+               report: &mut Report| {
         // Sequential transfers: 64 MiB streamed.
         let chunk = 1 << 20;
         let total = 64 * chunk;
@@ -187,7 +201,8 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
         let data = vec![0u8; chunk as usize];
         let t0 = d.clock_ns();
         for i in 0..(total / chunk) {
-            d.write(Extent::new(i * chunk, chunk), &data, IoKind::Raw).unwrap();
+            d.write(Extent::new(i * chunk, chunk), &data, IoKind::Raw)
+                .unwrap();
         }
         let wr = total as f64 / 1e6 / ((d.clock_ns() - t0) as f64 / 1e9);
         let t0 = d.clock_ns();
@@ -220,7 +235,8 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
         let mut dw = Disk::new(cap, layout, model);
         let t0 = dw.clock_ns();
         for &off in &offsets {
-            dw.write(Extent::new(off, 4096), &data[..4096], IoKind::Raw).unwrap();
+            dw.write(Extent::new(off, 4096), &data[..4096], IoKind::Raw)
+                .unwrap();
         }
         let wiops_fresh = offsets.len() as f64 / ((dw.clock_ns() - t0) as f64 / 1e9);
         let wiops_aged = if let Layout::FixedBand { band_size } = layout {
@@ -229,14 +245,16 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
             let span = 64u64;
             let big = vec![0u8; band_size as usize];
             for b in 0..span {
-                da.write(Extent::new(b * band_size, band_size), &big, IoKind::Raw).unwrap();
+                da.write(Extent::new(b * band_size, band_size), &big, IoKind::Raw)
+                    .unwrap();
             }
             let t0 = da.clock_ns();
             let n = 40;
             for i in 0..n {
                 let off = (rng.next_below(span * band_size / 4096 - 1)) * 4096;
                 let _ = i;
-                da.write(Extent::new(off, 4096), &data[..4096], IoKind::Raw).unwrap();
+                da.write(Extent::new(off, 4096), &data[..4096], IoKind::Raw)
+                    .unwrap();
             }
             Some(n as f64 / ((da.clock_ns() - t0) as f64 / 1e9))
         } else {
@@ -259,11 +277,19 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
         }
     };
 
-    run("HDD", TimeModel::hdd_st1000dm003(cap), Layout::Hdd, &mut rows, &mut report);
+    run(
+        "HDD",
+        TimeModel::hdd_st1000dm003(cap),
+        Layout::Hdd,
+        &mut rows,
+        &mut report,
+    );
     run(
         "SMR",
         TimeModel::smr_st5000as0011(cap),
-        Layout::FixedBand { band_size: scale.band_size() },
+        Layout::FixedBand {
+            band_size: scale.band_size(),
+        },
         &mut rows,
         &mut report,
     );
@@ -278,6 +304,7 @@ pub fn table2(scale: &BenchScale) -> Result<Report> {
 // ---------------------------------------------------------------- Fig. 8
 
 /// The four micro-benchmark phases for one store kind.
+#[derive(Debug)]
 pub struct MicroSuite {
     /// Store kind.
     pub kind: StoreKind,
@@ -319,8 +346,7 @@ pub fn micro_suite(kind: StoreKind, scale: &BenchScale) -> Result<MicroSuite> {
 
 fn micro_rows(suites: &[MicroSuite], report: &mut Report, csv_name: &str) {
     let base = &suites[0];
-    let mut rows =
-        String::from("store,phase,ops_per_sec,mb_per_sec,normalized_to_first\n");
+    let mut rows = String::from("store,phase,ops_per_sec,mb_per_sec,normalized_to_first\n");
     for s in suites {
         for (phase, r, b) in [
             ("fillseq", &s.fillseq, &base.fillseq),
@@ -565,8 +591,7 @@ pub fn fig13(scale: &BenchScale) -> Result<Report> {
     let snap = store.snapshot();
     let avg_set = snap
         .set_stats
-        .map(|s| s.avg_set_bytes())
-        .unwrap_or(scale.band_size() as f64);
+        .map_or(scale.band_size() as f64, |s| s.avg_set_bytes());
     // Fragments: free regions smaller than the average set size.
     let fragments: Vec<&Extent> = snap
         .free_regions
@@ -584,7 +609,11 @@ pub fn fig13(scale: &BenchScale) -> Result<Report> {
         ));
     }
     for e in &snap.free_regions {
-        let kind = if (e.len as f64) < avg_set { "fragment" } else { "free" };
+        let kind = if (e.len as f64) < avg_set {
+            "fragment"
+        } else {
+            "free"
+        };
         rows.push_str(&format!(
             "{kind},{:.3},{:.3},0\n",
             e.offset as f64 / MB,
@@ -603,7 +632,10 @@ pub fn fig13(scale: &BenchScale) -> Result<Report> {
         frag_bytes as f64 / MB,
         100.0 * frag_bytes as f64 / occupied as f64
     ));
-    report.line(format!("avg set size used as fragment threshold: {:.2} MiB", avg_set / MB));
+    report.line(format!(
+        "avg set size used as fragment threshold: {:.2} MiB",
+        avg_set / MB
+    ));
     // The paper's future work, implemented: a fragment GC pass.
     let mut store = store;
     let gc = store.collect_garbage(&lsm_core::GcConfig {
@@ -634,7 +666,11 @@ pub fn fig13(scale: &BenchScale) -> Result<Report> {
 pub fn fig14(scale: &BenchScale) -> Result<Report> {
     let mut report =
         Report::new("Fig. 14 — contribution of sets vs dynamic bands (normalised to LevelDB)");
-    let kinds = [StoreKind::LevelDb, StoreKind::LevelDbSets, StoreKind::SealDb];
+    let kinds = [
+        StoreKind::LevelDb,
+        StoreKind::LevelDbSets,
+        StoreKind::SealDb,
+    ];
     let suites: Vec<MicroSuite> =
         per_store_parallel(&kinds, |kind| micro_suite(kind, scale).expect("suite"));
     micro_rows(&suites, &mut report, "fig14_contribution.csv");
@@ -690,7 +726,11 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
     let variants: Vec<Variant> = vec![
         (
             "sets+priority (SEALDB)".into(),
-            Box::new(move |cap| Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(cap, sst, sst))))),
+            Box::new(move |cap| {
+                Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(
+                    cap, sst, sst,
+                ))))
+            }),
             sst,
         ),
         (
@@ -705,20 +745,32 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
         ),
         (
             "per-file on dynamic bands".into(),
-            Box::new(move |cap| Box::new(PerFilePolicy::new(Box::new(DynamicBandAlloc::new(cap, sst, sst))))),
+            Box::new(move |cap| {
+                Box::new(PerFilePolicy::new(Box::new(DynamicBandAlloc::new(
+                    cap, sst, sst,
+                ))))
+            }),
             sst,
         ),
         (
             "sets, guard 2x SSTable".into(),
             Box::new(move |cap| {
-                Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(cap, sst, 2 * sst))))
+                Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(
+                    cap,
+                    sst,
+                    2 * sst,
+                ))))
             }),
             2 * sst,
         ),
         (
             "sets, guard 4x SSTable".into(),
             Box::new(move |cap| {
-                Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(cap, sst, 4 * sst))))
+                Box::new(SetPolicy::new(Box::new(DynamicBandAlloc::new(
+                    cap,
+                    sst,
+                    4 * sst,
+                ))))
             }),
             4 * sst,
         ),
@@ -731,8 +783,7 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
         let snap = store.snapshot();
         let avg_set = snap
             .set_stats
-            .map(|s| s.avg_set_bytes())
-            .unwrap_or(scale.band_size() as f64);
+            .map_or(scale.band_size() as f64, |s| s.avg_set_bytes());
         let frag_bytes: u64 = snap
             .free_regions
             .iter()
@@ -828,7 +879,11 @@ pub fn hasmr(scale: &BenchScale) -> Result<Report> {
         report.line(format!(
             "{} on {}: MWA {:.2}",
             kind.name(),
-            if *kind == StoreKind::SealDb { "raw HM-SMR" } else { "fixed-band SMR" },
+            if *kind == StoreKind::SealDb {
+                "raw HM-SMR"
+            } else {
+                "fixed-band SMR"
+            },
             s.io.mwa()
         ));
     }

@@ -82,7 +82,9 @@ pub fn check_metrics_json(content: &str) -> Vec<String> {
     let stores = content.matches("\"store\":").count();
     let expected = StoreKind::MAIN.len();
     if stores != expected {
-        problems.push(format!("expected {expected} store snapshots, found {stores}"));
+        problems.push(format!(
+            "expected {expected} store snapshots, found {stores}"
+        ));
     }
     for key in REQUIRED_KEYS {
         let n = content.matches(key).count();
@@ -138,9 +140,7 @@ mod tests {
     #[test]
     fn checker_rejects_missing_keys_and_nan() {
         assert!(!check_metrics_json("{}").is_empty());
-        let mut doc = format!(
-            "{{\"schema\":\"{METRICS_SCHEMA}\",\"seed\":1,\"stores\":[]}}"
-        );
+        let mut doc = format!("{{\"schema\":\"{METRICS_SCHEMA}\",\"seed\":1,\"stores\":[]}}");
         assert!(check_metrics_json(&doc)
             .iter()
             .any(|p| p.contains("store snapshots")));

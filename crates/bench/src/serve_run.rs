@@ -124,7 +124,9 @@ fn sweep_store(kind: StoreKind, scale: &BenchScale) -> Result<StoreSweep> {
         let mut store = fresh()?;
         let cfg = ServeConfig::new(
             spec,
-            ArrivalProcess::OpenLoopPoisson { ops_per_sec: per_client },
+            ArrivalProcess::OpenLoopPoisson {
+                ops_per_sec: per_client,
+            },
             CLIENTS,
             ops,
             records,
@@ -176,7 +178,10 @@ pub fn sweep_to_json(scale: &BenchScale, sweeps: &[StoreSweep]) -> String {
             if j > 0 {
                 s.push(',');
             }
-            s.push_str(&point_json(p.offered_ops_per_sec / CLIENTS as f64, &p.result));
+            s.push_str(&point_json(
+                p.offered_ops_per_sec / CLIENTS as f64,
+                &p.result,
+            ));
         }
         s.push_str("]}");
     }
@@ -309,7 +314,9 @@ mod tests {
     #[test]
     fn checker_rejects_bad_artifacts() {
         assert!(!check_serve_json("{}").is_empty());
-        let doc = format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"seed\":1,\"clients\":4,\"ops\":9,\"stores\":[]}}");
+        let doc = format!(
+            "{{\"schema\":\"{SERVE_SCHEMA}\",\"seed\":1,\"clients\":4,\"ops\":9,\"stores\":[]}}"
+        );
         assert!(check_serve_json(&doc)
             .iter()
             .any(|p| p.contains("store sweeps")));

@@ -40,11 +40,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 
 /// Like [`bench`] but rebuilds fresh input state per iteration via
 /// `setup`; only the time inside `f` is measured.
-pub fn bench_with_setup<S, T>(
-    name: &str,
-    mut setup: impl FnMut() -> S,
-    mut f: impl FnMut(S) -> T,
-) {
+pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
     let mut samples: Vec<f64> = Vec::new();
     let start = Instant::now();
     let mut total = 0u64;

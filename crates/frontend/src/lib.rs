@@ -254,7 +254,11 @@ fn advance_clock(store: &mut Store, ns: u64) {
 /// The store is flipped into deferred-compaction (serve) mode for the
 /// duration and restored afterwards, so preload and any surrounding
 /// benchmark phases keep the original quiesce-on-write behavior.
-pub fn run_serve(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Result<ServeResult> {
+pub fn run_serve(
+    store: &mut Store,
+    gen: &RecordGenerator,
+    cfg: &ServeConfig,
+) -> Result<ServeResult> {
     assert!(cfg.clients > 0, "serve needs at least one client");
     store.set_deferred_compaction(true);
     let result = serve_loop(store, gen, cfg);
@@ -288,7 +292,11 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         if remaining[c] == 0 {
             continue;
         }
-        let t = if open_loop { start + gaps[c].next_gap_ns() } else { start };
+        let t = if open_loop {
+            start + gaps[c].next_gap_ns()
+        } else {
+            start
+        };
         arrivals.push(Reverse((t, next_idx, c)));
         next_idx += 1;
         remaining[c] -= 1;
@@ -319,7 +327,11 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 break;
             }
             arrivals.pop();
-            pending.push_back(Request { arrival_ns: t, client: c, op: draw.draw() });
+            pending.push_back(Request {
+                arrival_ns: t,
+                client: c,
+                op: draw.draw(),
+            });
             if open_loop && remaining[c] > 0 {
                 arrivals.push(Reverse((t + gaps[c].next_gap_ns(), next_idx, c)));
                 next_idx += 1;
@@ -376,7 +388,9 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                         break;
                     }
                     let next = pending.pop_front().expect("checked front");
-                    let Op::Write(b) = next.op else { unreachable!("checked write") };
+                    let Op::Write(b) = next.op else {
+                        unreachable!("checked write")
+                    };
                     batch.append(&b);
                     members.push((next.arrival_ns, next.client));
                 }
@@ -410,7 +424,11 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
             queue_delays.push(service_start - arrival);
             completed += 1;
             if !open_loop && remaining[client] > 0 {
-                arrivals.push(Reverse((done + gaps[client].next_gap_ns(), next_idx, client)));
+                arrivals.push(Reverse((
+                    done + gaps[client].next_gap_ns(),
+                    next_idx,
+                    client,
+                )));
                 next_idx += 1;
                 remaining[client] -= 1;
             }
@@ -469,9 +487,17 @@ fn publish_obs(store: &mut Store, r: &ServeResult, latencies: &[u64], queue_dela
     obs.counter_add(ObsLayer::Frontend, "write_calls", r.write_calls);
     obs.counter_add(ObsLayer::Frontend, "write_ops", r.write_ops);
     obs.counter_add(ObsLayer::Frontend, "idle_compactions", r.idle_compactions);
-    obs.gauge_set(ObsLayer::Frontend, "queue_depth_max", r.queue_depth_max as f64);
+    obs.gauge_set(
+        ObsLayer::Frontend,
+        "queue_depth_max",
+        r.queue_depth_max as f64,
+    );
     obs.gauge_set(ObsLayer::Frontend, "queue_depth_mean", r.queue_depth_mean);
-    obs.gauge_set(ObsLayer::Frontend, "throughput_ops_per_sec", r.throughput_ops_per_sec);
+    obs.gauge_set(
+        ObsLayer::Frontend,
+        "throughput_ops_per_sec",
+        r.throughput_ops_per_sec,
+    );
 }
 
 #[cfg(test)]
@@ -555,7 +581,10 @@ mod tests {
         assert_eq!(a.sim_ns, b.sim_ns);
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.queue_delay, b.queue_delay);
-        assert_eq!(a.throughput_ops_per_sec.to_bits(), b.throughput_ops_per_sec.to_bits());
+        assert_eq!(
+            a.throughput_ops_per_sec.to_bits(),
+            b.throughput_ops_per_sec.to_bits()
+        );
         assert_eq!(a.write_calls, b.write_calls);
         assert_eq!(a.stalls, b.stalls);
         // A different seed shifts the schedule.
@@ -570,18 +599,14 @@ mod tests {
         let n = 1000u64;
         // Measure saturation throughput closed-loop, then offer well
         // below and well above it open-loop.
-        let closed = ServeConfig::new(
-            spec,
-            ArrivalProcess::ClosedLoop { think_ns: 0 },
-            4,
-            300,
-            n,
-        );
+        let closed = ServeConfig::new(spec, ArrivalProcess::ClosedLoop { think_ns: 0 }, 4, 300, n);
         let sat = run(StoreKind::SealDb, &closed, &gen).throughput_ops_per_sec;
         let at = |x: f64| {
             let cfg = ServeConfig::new(
                 spec,
-                ArrivalProcess::OpenLoopPoisson { ops_per_sec: sat * x / 4.0 },
+                ArrivalProcess::OpenLoopPoisson {
+                    ops_per_sec: sat * x / 4.0,
+                },
                 4,
                 300,
                 n,
@@ -623,6 +648,11 @@ mod tests {
             m.obs.registry.counter(ObsLayer::Frontend, "write_calls"),
             r.write_calls
         );
-        assert!(m.obs.registry.gauge(ObsLayer::Frontend, "throughput_ops_per_sec") > 0.0);
+        assert!(
+            m.obs
+                .registry
+                .gauge(ObsLayer::Frontend, "throughput_ops_per_sec")
+                > 0.0
+        );
     }
 }

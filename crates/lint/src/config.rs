@@ -1,0 +1,215 @@
+//! Rule scoping and the per-crate allowlist.
+//!
+//! Each rule applies to a *scope* — a set of workspace-relative path
+//! patterns — and may be switched off for specific files by the
+//! allowlist, which pairs every exemption with a written justification
+//! (printed by `seal-lint --allowlist`). Paths always use `/` separators
+//! relative to the workspace root, e.g. `crates/smr-sim/src/disk.rs`.
+
+use crate::rules::Rule;
+
+/// Matches workspace-relative paths against a small glob dialect:
+/// `**` matches any number of path segments (including zero), `*`
+/// matches any characters within one segment. Everything else is
+/// literal.
+pub fn path_matches(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // `**` may absorb zero or more leading segments.
+            (0..=segs.len()).any(|skip| match_segments(&pat[1..], &segs[skip..]))
+        }
+        Some(p) => match segs.first() {
+            Some(s) if segment_matches(p, s) => match_segments(&pat[1..], &segs[1..]),
+            _ => false,
+        },
+    }
+}
+
+fn segment_matches(pat: &str, seg: &str) -> bool {
+    // `*` within one segment: split the pattern on stars and greedily
+    // match the literal pieces left to right.
+    if !pat.contains('*') {
+        return pat == seg;
+    }
+    let pieces: Vec<&str> = pat.split('*').collect();
+    let mut rest = seg;
+    for (i, piece) in pieces.iter().enumerate() {
+        if piece.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(piece) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == pieces.len() - 1 && !pat.ends_with('*') {
+            return rest.ends_with(piece);
+        } else {
+            match rest.find(piece) {
+                Some(at) => rest = &rest[at + piece.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// One allowlist entry: a rule switched off for files matching `pattern`,
+/// with a human-readable justification.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// The rule being exempted.
+    pub rule: Rule,
+    /// Path pattern (see [`path_matches`]).
+    pub pattern: &'static str,
+    /// Why the exemption is sound. Shown by `seal-lint --allowlist`.
+    pub justification: &'static str,
+}
+
+/// The workspace allowlist. Every entry must carry a justification; an
+/// exemption nobody can explain should be a suppression comment in the
+/// code instead, where review will see it.
+pub fn default_allowlist() -> Vec<AllowEntry> {
+    vec![
+        AllowEntry {
+            rule: Rule::NoWallClock,
+            pattern: "crates/bench/src/timing.rs",
+            justification: "the timing harness measures real elapsed wall time by design",
+        },
+        AllowEntry {
+            rule: Rule::NoWallClock,
+            pattern: "crates/bench/src/main.rs",
+            justification: "progress reporting on stderr times the run itself, not results",
+        },
+        AllowEntry {
+            rule: Rule::PubItemDocs,
+            pattern: "crates/bench/**",
+            justification: "bench is a binary crate; its pub items are not a library API",
+        },
+    ]
+}
+
+/// Scope table: which files each rule examines. Patterns are matched with
+/// [`path_matches`] against workspace-relative paths.
+pub fn default_scope(rule: Rule) -> Vec<&'static str> {
+    match rule {
+        // Determinism rules sweep every crate: one stray wall-clock read
+        // or ambient RNG anywhere poisons byte-identical artifacts.
+        Rule::NoWallClock | Rule::NoAmbientRandomness => vec!["**/*.rs"],
+        // Unordered iteration only matters where map contents feed
+        // metrics, JSON/CSV artifacts, manifest bytes, or placement
+        // decisions. These are the artifact-adjacent modules.
+        Rule::NoUnorderedIteration => vec![
+            "crates/smr-sim/src/**",
+            "crates/lsm-core/src/filestore.rs",
+            "crates/lsm-core/src/cache.rs",
+            "crates/lsm-core/src/version/**",
+            "crates/sealdb/src/**",
+            "crates/bench/src/**",
+            "crates/frontend/src/**",
+        ],
+        // Crash-recovery paths must degrade to errors, never panic: a
+        // panic during reopen turns a recoverable torn tail into an
+        // outage.
+        Rule::NoUnwrapInRecovery => vec![
+            "crates/lsm-core/src/wal.rs",
+            "crates/lsm-core/src/version/**",
+            "crates/lsm-core/src/filestore.rs",
+        ],
+        // Corruption errors raised during recovery must say where the
+        // bad bytes live.
+        Rule::ErrorContext => vec![
+            "crates/lsm-core/src/wal.rs",
+            "crates/lsm-core/src/version/**",
+        ],
+        // Byte-accounting code must not silently truncate counters.
+        Rule::NoLossyCastInAccounting => {
+            vec!["crates/smr-sim/src/stats.rs", "crates/smr-sim/src/obs.rs"]
+        }
+        Rule::ObsMetricNaming => vec!["crates/**/src/**"],
+        // Library crates document their public API. Binary-only trees
+        // (main.rs, bin/, benches, tests) are exempt by scope.
+        Rule::PubItemDocs => vec![
+            "crates/smr-sim/src/**",
+            "crates/placement/src/**",
+            "crates/lsm-core/src/**",
+            "crates/sealdb/src/**",
+            "crates/smrdb/src/**",
+            "crates/workloads/src/**",
+            "crates/frontend/src/**",
+            "crates/lint/src/**",
+            "src/lib.rs",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_star() {
+        assert!(path_matches(
+            "crates/bench/src/timing.rs",
+            "crates/bench/src/timing.rs"
+        ));
+        assert!(path_matches(
+            "crates/*/src/lib.rs",
+            "crates/bench/src/lib.rs"
+        ));
+        assert!(!path_matches(
+            "crates/*/src/lib.rs",
+            "crates/bench/src/main.rs"
+        ));
+        assert!(path_matches("**/wal.rs", "crates/lsm-core/src/wal.rs"));
+        assert!(path_matches("**/*.rs", "src/lib.rs"));
+    }
+
+    #[test]
+    fn double_star_spans_segments() {
+        assert!(path_matches(
+            "crates/smr-sim/src/**",
+            "crates/smr-sim/src/disk.rs"
+        ));
+        assert!(path_matches(
+            "crates/lsm-core/src/version/**",
+            "crates/lsm-core/src/version/set.rs"
+        ));
+        assert!(!path_matches(
+            "crates/smr-sim/src/**",
+            "crates/sealdb/src/store.rs"
+        ));
+        // `**` may match zero segments.
+        assert!(path_matches("crates/bench/**", "crates/bench/Cargo.toml"));
+    }
+
+    #[test]
+    fn within_segment_star() {
+        assert!(path_matches(
+            "**/prop_*.rs",
+            "crates/placement/tests/prop_alloc.rs"
+        ));
+        assert!(!path_matches(
+            "**/prop_*.rs",
+            "crates/placement/tests/alloc.rs"
+        ));
+    }
+
+    #[test]
+    fn allowlist_entries_all_carry_justifications() {
+        for e in default_allowlist() {
+            assert!(
+                !e.justification.is_empty(),
+                "{:?} lacks justification",
+                e.rule
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! seal-lint: workspace-native static analysis for sealdb.
+//!
+//! Enforces the determinism and recovery-safety invariants the benchmark
+//! artifacts depend on — no wall clock or ambient randomness in simulated
+//! code, ordered iteration wherever bytes are exported, no panics in
+//! crash-recovery paths — with zero external dependencies so the
+//! workspace builds offline. See `DESIGN.md` §11 for the rule catalogue.
+
+/// Rule scoping, path matching and the justified allowlist.
+pub mod config;
+/// Hand-rolled Rust token lexer (no external parser crates).
+pub mod lexer;
+/// The rule catalogue and per-file checking engine.
+pub mod rules;
+
+use config::{default_allowlist, default_scope, path_matches, AllowEntry};
+use rules::{Finding, Rule};
+use std::path::{Path, PathBuf};
+
+/// How a lint run is scoped. The default (`Options::workspace()`) applies
+/// the per-rule scope table and the allowlist; fixture tests use
+/// `Options::everything()` to run every rule on every file with no
+/// exemptions.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Ignore the scope table: run every rule on every file.
+    pub all_rules_everywhere: bool,
+    /// Apply the allowlist from [`config::default_allowlist`].
+    pub use_allowlist: bool,
+}
+
+impl Options {
+    /// Production scoping: per-rule scopes plus the allowlist.
+    pub fn workspace() -> Options {
+        Options {
+            all_rules_everywhere: false,
+            use_allowlist: true,
+        }
+    }
+
+    /// Fixture scoping: all rules, no exemptions.
+    pub fn everything() -> Options {
+        Options {
+            all_rules_everywhere: true,
+            use_allowlist: false,
+        }
+    }
+}
+
+/// Directories never descended into: build output, VCS state, and the
+/// lint fixtures themselves (which are known-bad on purpose).
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "related"];
+
+/// Lints every `.rs` file under `root`, returning findings sorted by
+/// (path, line, rule, message). Paths in findings are `/`-separated and
+/// relative to `root`.
+pub fn lint_root(root: &Path, opts: &Options) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let allowlist = if opts.use_allowlist {
+        default_allowlist()
+    } else {
+        Vec::new()
+    };
+    let mut findings = Vec::new();
+    for rel in &files {
+        let applicable = applicable_rules(rel, opts, &allowlist);
+        if applicable.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(rules::check_file(rel, &src, &applicable));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Rules that apply to the file at workspace-relative path `rel`.
+fn applicable_rules(rel: &str, opts: &Options, allowlist: &[AllowEntry]) -> Vec<Rule> {
+    Rule::ALL
+        .iter()
+        .copied()
+        .filter(|&rule| {
+            let in_scope = opts.all_rules_everywhere
+                || default_scope(rule).iter().any(|pat| path_matches(pat, rel));
+            let allowed = allowlist
+                .iter()
+                .any(|e| e.rule == rule && path_matches(e.pattern, rel));
+            in_scope && !allowed
+        })
+        .collect()
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings one per line in the stable `path:line: rule: message`
+/// format used by the golden fixture file.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicable_rules_respect_scope_and_allowlist() {
+        let opts = Options::workspace();
+        let allow = default_allowlist();
+        // timing.rs: wall clock allowed, ambient randomness still banned.
+        let rules = applicable_rules("crates/bench/src/timing.rs", &opts, &allow);
+        assert!(!rules.contains(&Rule::NoWallClock));
+        assert!(rules.contains(&Rule::NoAmbientRandomness));
+        // disk.rs: ordered-iteration rule in force.
+        let rules = applicable_rules("crates/smr-sim/src/disk.rs", &opts, &allow);
+        assert!(rules.contains(&Rule::NoUnorderedIteration));
+        assert!(rules.contains(&Rule::NoWallClock));
+        // wal.rs: recovery rules in force.
+        let rules = applicable_rules("crates/lsm-core/src/wal.rs", &opts, &allow);
+        assert!(rules.contains(&Rule::NoUnwrapInRecovery));
+        assert!(rules.contains(&Rule::ErrorContext));
+    }
+
+    #[test]
+    fn everything_mode_ignores_scope_and_allowlist() {
+        let opts = Options::everything();
+        let rules = applicable_rules("crates/bench/src/timing.rs", &opts, &[]);
+        assert_eq!(rules.len(), Rule::ALL.len());
+    }
+}

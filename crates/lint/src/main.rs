@@ -1,0 +1,88 @@
+//! CLI for seal-lint.
+//!
+//! `cargo run -p seal-lint --release` lints the workspace and exits
+//! non-zero if any finding survives scoping, the allowlist and
+//! suppression comments. `--rules` and `--allowlist` print the catalogue.
+
+use seal_lint::config::default_allowlist;
+use seal_lint::rules::Rule;
+use seal_lint::{lint_root, render, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut opts = Options::workspace();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("seal-lint: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--everything" => opts = Options::everything(),
+            "--rules" => {
+                for rule in Rule::ALL {
+                    println!("{:28} {}", rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--allowlist" => {
+                for e in default_allowlist() {
+                    println!("{:28} {:32} {}", e.rule.name(), e.pattern, e.justification);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "seal-lint: workspace static analysis for determinism and \
+                     recovery safety\n\n\
+                     usage: seal-lint [--root DIR] [--everything] [--rules] [--allowlist]\n\n\
+                     --root DIR     lint DIR instead of the enclosing workspace\n\
+                     --everything   run every rule on every file, ignoring scopes\n\
+                     --rules        print the rule catalogue and exit\n\
+                     --allowlist    print the allowlist with justifications and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("seal-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    match lint_root(&root, &opts) {
+        Ok(findings) if findings.is_empty() => {
+            println!("seal-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            print!("{}", render(&findings));
+            println!("seal-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("seal-lint: io error under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        Err(_) => PathBuf::from("."),
+    }
+}

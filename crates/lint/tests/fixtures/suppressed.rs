@@ -1,0 +1,15 @@
+//! Fixture: every violation here carries a suppression comment, so this
+//! file must contribute zero findings.
+
+/// Wall-clock progress reporting, explicitly waived.
+pub fn waived() -> u64 {
+    // seal-lint: allow(no-wall-clock)
+    let t = Instant::now();
+    let s = SystemTime::now(); // seal-lint: allow(no-wall-clock)
+    // seal-lint: allow(no-unordered-iteration)
+    let m: HashMap<u64, u64> = HashMap::new();
+    // seal-lint: allow(no-unwrap-in-recovery, error-context)
+    let v = m.get(&0).unwrap();
+    drop((t, s));
+    *v
+}

@@ -1,0 +1,98 @@
+//! Integration tests: golden diagnostics over the fixture tree,
+//! suppression behaviour, CLI exit codes, and the self-clean guarantee
+//! on the real workspace.
+
+use seal_lint::{lint_root, render, Options};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixtures_dir() -> PathBuf {
+    crate_dir().join("tests/fixtures")
+}
+
+fn workspace_dir() -> PathBuf {
+    crate_dir()
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn fixtures_match_golden_diagnostics() {
+    let findings = lint_root(&fixtures_dir(), &Options::everything()).unwrap();
+    let rendered = render(&findings);
+    let expected = std::fs::read_to_string(fixtures_dir().join("expected.txt")).unwrap();
+    assert_eq!(
+        rendered, expected,
+        "fixture diagnostics drifted from tests/fixtures/expected.txt; \
+         if the change is intentional, regenerate the golden file with \
+         `cargo run -p seal-lint -- --root crates/lint/tests/fixtures --everything`"
+    );
+}
+
+#[test]
+fn every_rule_appears_in_fixture_findings() {
+    let findings = lint_root(&fixtures_dir(), &Options::everything()).unwrap();
+    for rule in seal_lint::rules::Rule::ALL {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "fixtures exercise no `{rule}` finding"
+        );
+    }
+}
+
+#[test]
+fn suppression_comments_silence_findings() {
+    let findings = lint_root(&fixtures_dir(), &Options::everything()).unwrap();
+    let from_suppressed: Vec<_> = findings
+        .iter()
+        .filter(|f| f.path.starts_with("suppressed"))
+        .collect();
+    assert!(
+        from_suppressed.is_empty(),
+        "suppressed.rs leaked findings: {from_suppressed:?}"
+    );
+}
+
+#[test]
+fn fixture_runs_are_deterministic() {
+    let a = render(&lint_root(&fixtures_dir(), &Options::everything()).unwrap());
+    let b = render(&lint_root(&fixtures_dir(), &Options::everything()).unwrap());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let findings = lint_root(&workspace_dir(), &Options::workspace()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        render(&findings)
+    );
+}
+
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_seal-lint");
+    let clean = Command::new(bin)
+        .args(["--root", workspace_dir().to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(clean.status.success(), "workspace run must exit 0");
+    let dirty = Command::new(bin)
+        .args(["--root", fixtures_dir().to_str().unwrap(), "--everything"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        dirty.status.code(),
+        Some(1),
+        "fixture run must exit 1 (findings)"
+    );
+    let stdout = String::from_utf8(dirty.stdout).unwrap();
+    assert!(stdout.contains("no-wall-clock"), "diagnostics on stdout");
+}

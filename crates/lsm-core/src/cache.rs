@@ -2,10 +2,10 @@
 //! the block cache (data blocks by (file, offset)) and the table cache
 //! (open table readers by file id). Mirrors LevelDB's two caches.
 
-use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+#[derive(Debug)]
 struct EntryMeta<V> {
     value: Arc<V>,
     charge: u64,
@@ -13,9 +13,12 @@ struct EntryMeta<V> {
 }
 
 /// A least-recently-used cache with a byte budget. Recency is tracked with
-/// a generation queue and lazy deletion, so hits are O(1) amortised.
-pub struct LruCache<K: Eq + Hash + Clone, V> {
-    map: HashMap<K, EntryMeta<V>>,
+/// a generation queue and lazy deletion, so hits are O(log n) amortised.
+/// Keyed by `Ord` rather than `Hash` so iteration (and therefore any
+/// exported state derived from it) has a defined order.
+#[derive(Debug)]
+pub struct LruCache<K: Ord + Clone, V> {
+    map: BTreeMap<K, EntryMeta<V>>,
     order: VecDeque<(K, u64)>,
     capacity: u64,
     used: u64,
@@ -24,11 +27,11 @@ pub struct LruCache<K: Eq + Hash + Clone, V> {
     misses: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Ord + Clone, V> LruCache<K, V> {
     /// Creates a cache holding up to `capacity` charged bytes.
     pub fn new(capacity: u64) -> Self {
         LruCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             capacity,
             used: 0,
@@ -106,10 +109,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                     // A queue entry is authoritative only if its generation
                     // still matches the map's: that means the entry is live
                     // and this is its most recent recency record.
-                    let live = self
-                        .map
-                        .get(&k)
-                        .is_some_and(|m| m.generation == generation);
+                    let live = self.map.get(&k).is_some_and(|m| m.generation == generation);
                     if live {
                         let meta = self.map.remove(&k).expect("entry just observed");
                         self.used -= meta.charge;

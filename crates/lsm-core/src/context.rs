@@ -22,6 +22,7 @@ pub type BlockCacheKey = (FileId, u64);
 /// holding the store context must not cascade into every other path that
 /// touches the disk (recovery code in particular keeps running after an
 /// injected-fault panic unwinds through a worker).
+#[derive(Debug)]
 pub struct CtxMutex<T>(std::sync::Mutex<T>);
 
 impl<T> CtxMutex<T> {
@@ -32,11 +33,14 @@ impl<T> CtxMutex<T> {
 
     /// Locks, recovering the guard even if a previous holder panicked.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
 /// The mutable store state shared between the engine and its iterators.
+#[derive(Debug)]
 pub struct StoreCtx {
     /// File-id indirection over the simulated disk.
     pub fs: FileStore,

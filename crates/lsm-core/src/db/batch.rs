@@ -151,6 +151,7 @@ impl Default for WriteBatch {
 }
 
 /// Iterator over batch records.
+#[derive(Debug)]
 pub struct BatchIter<'a> {
     src: &'a [u8],
     seq: SequenceNumber,

@@ -14,6 +14,7 @@ use std::cmp::Ordering;
 /// Iterates a sorted, disjoint level by opening one table at a time —
 /// LevelDB's "concatenating" iterator. Keeps merging fan-in at one child
 /// per level regardless of file counts.
+#[derive(Debug)]
 pub struct LevelIterator {
     ctx: SharedCtx,
     files: Vec<FileMetaHandle>,
@@ -111,6 +112,7 @@ impl InternalIterator for LevelIterator {
 
 /// The user-facing iterator: merges all sources and resolves versions —
 /// newest visible entry per user key, tombstones hide older values.
+#[derive(Debug)]
 pub struct DbIterator<'a> {
     inner: MergingIterator<'a>,
     snapshot: SequenceNumber,

@@ -7,8 +7,11 @@
 //! them on a single background thread anyway, and inline execution makes
 //! the simulated-latency attribution of the paper's Fig. 10 exact.
 
+/// Atomic multi-key write batches.
 pub mod batch;
+/// Full-database merged iterators.
 pub mod iter;
+/// Tunable open-time options.
 pub mod options;
 
 use crate::context::{evict_file, get_table, new_ctx, SharedCtx};
@@ -174,10 +177,21 @@ pub struct DbCore {
     stalls: StallStats,
 }
 
+impl std::fmt::Debug for DbCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbCore")
+            .field("policy", &self.policy.name())
+            .field("mem_entries", &self.mem.len())
+            .field("flush_count", &self.flush_count)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DbCore {
     /// Opens a fresh database on `disk` with the given placement policy.
     pub fn open(disk: Disk, opts: Options, policy: Box<dyn PlacementPolicy>) -> Result<DbCore> {
-        opts.validate().map_err(crate::error::Error::InvalidArgument)?;
+        opts.validate()
+            .map_err(crate::error::Error::InvalidArgument)?;
         let fs = FileStore::new(disk, opts.log_zone_bytes);
         let ctx = new_ctx(fs, opts.block_cache_bytes, opts.table_cache_entries);
         let mut versions = VersionSet::new(opts.level_params());
@@ -443,7 +457,12 @@ impl DbCore {
     // registry.
 
     fn obs_latency(&self, layer: ObsLayer, name: &str, ns: u64) {
-        self.ctx.lock().fs.disk_mut().obs_mut().latency(layer, name, ns);
+        self.ctx
+            .lock()
+            .fs
+            .disk_mut()
+            .obs_mut()
+            .latency(layer, name, ns);
     }
 
     fn obs_counter(&self, layer: ObsLayer, name: &str, delta: u64) {
@@ -569,7 +588,12 @@ impl DbCore {
                 self.stalls.slowdown_ns += penalty;
                 self.obs_counter(ObsLayer::Lsm, "stall.slowdown_count", 1);
                 self.obs_latency(ObsLayer::Lsm, "stall_slowdown_ns", penalty);
-                self.obs_event(ObsLayer::Lsm, ObsEventKind::WriteSlowdown, l0 as u64, penalty);
+                self.obs_event(
+                    ObsLayer::Lsm,
+                    ObsEventKind::WriteSlowdown,
+                    l0 as u64,
+                    penalty,
+                );
                 allow_delay = false;
                 continue;
             }
@@ -803,7 +827,12 @@ impl DbCore {
                 trivial_move: true,
             });
             self.obs_counter(ObsLayer::Lsm, "trivial_moves", 1);
-            self.obs_event(ObsLayer::Lsm, ObsEventKind::TrivialMove, c.level as u64, f_size);
+            self.obs_event(
+                ObsLayer::Lsm,
+                ObsEventKind::TrivialMove,
+                c.level as u64,
+                f_size,
+            );
             return Ok(());
         }
 
@@ -822,7 +851,9 @@ impl DbCore {
             for f in &c.inputs[0] {
                 input_bytes += f.size;
                 let table = get_table(&self.ctx, f.id, f.size)?;
-                children.push(Box::new(table.iter(self.ctx.clone(), IoKind::CompactionRead)));
+                children.push(Box::new(
+                    table.iter(self.ctx.clone(), IoKind::CompactionRead),
+                ));
             }
         } else if !c.inputs[0].is_empty() {
             input_bytes += c.inputs[0].iter().map(|f| f.size).sum::<u64>();
@@ -973,7 +1004,11 @@ impl DbCore {
             trivial_move: false,
         });
         let lvl = c.level;
-        self.obs_counter(ObsLayer::Lsm, &format!("compaction.l{lvl}.bytes_in"), input_bytes);
+        self.obs_counter(
+            ObsLayer::Lsm,
+            &format!("compaction.l{lvl}.bytes_in"),
+            input_bytes,
+        );
         self.obs_counter(
             ObsLayer::Lsm,
             &format!("compaction.l{lvl}.bytes_out"),
@@ -981,7 +1016,12 @@ impl DbCore {
         );
         self.obs_counter(ObsLayer::Lsm, &format!("compaction.l{lvl}.count"), 1);
         self.obs_latency(ObsLayer::Lsm, "compaction_ns", end_ns - start_ns);
-        self.obs_event(ObsLayer::Lsm, ObsEventKind::Compaction, lvl as u64, output_bytes);
+        self.obs_event(
+            ObsLayer::Lsm,
+            ObsEventKind::Compaction,
+            lvl as u64,
+            output_bytes,
+        );
         Ok(())
     }
 
@@ -1110,8 +1150,7 @@ impl DbCore {
         snapshot: SequenceNumber,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let version = self.versions.current();
-        let mut children: Vec<Box<dyn InternalIterator + '_>> =
-            vec![Box::new(self.mem.iter())];
+        let mut children: Vec<Box<dyn InternalIterator + '_>> = vec![Box::new(self.mem.iter())];
         for f in &version.files[0] {
             let table = get_table(&self.ctx, f.id, f.size)?;
             children.push(Box::new(table.iter(self.ctx.clone(), IoKind::Scan)));
@@ -1211,8 +1250,11 @@ mod tests {
             db.put(&k, &v).unwrap();
         }
         db.flush().unwrap();
-        let real: Vec<&CompactionRecord> =
-            db.compaction_log().iter().filter(|c| !c.trivial_move).collect();
+        let real: Vec<&CompactionRecord> = db
+            .compaction_log()
+            .iter()
+            .filter(|c| !c.trivial_move)
+            .collect();
         assert!(!real.is_empty(), "expected real compactions");
         // Deeper levels populated.
         let v = db.current_version();
@@ -1395,11 +1437,19 @@ mod tests {
             db.put(&k, &v).unwrap();
         }
         db.flush().unwrap();
-        let trivial = db.compaction_log().iter().filter(|c| c.trivial_move).count();
+        let trivial = db
+            .compaction_log()
+            .iter()
+            .filter(|c| c.trivial_move)
+            .count();
         assert!(trivial > 0, "sequential load should move files trivially");
         // Sequential load: write amplification stays near 1.
         let stats = db.ctx().lock().fs.disk().stats().clone();
-        assert!(stats.wa() < 2.0, "WA {} too high for sequential load", stats.wa());
+        assert!(
+            stats.wa() < 2.0,
+            "WA {} too high for sequential load",
+            stats.wa()
+        );
     }
 
     #[test]
@@ -1466,15 +1516,24 @@ mod tests {
         assert!(s.memtable_count > 0, "memtable stalls never recorded");
         assert_eq!(s.slowdown_ns, s.slowdown_count * 1_000_000);
         assert!(s.stop_ns > 0 && s.total_ns() == s.slowdown_ns + s.stop_ns + s.memtable_ns);
-        assert!(resumed_after_stop, "writes never resumed unthrottled after a stop");
+        assert!(
+            resumed_after_stop,
+            "writes never resumed unthrottled after a stop"
+        );
 
         // The obs registry mirrors the engine's stall accounting.
         let ctx = db.ctx();
         let guard = ctx.lock();
         let reg = &guard.fs.disk().obs().registry;
-        assert_eq!(reg.counter(ObsLayer::Lsm, "stall.slowdown_count"), s.slowdown_count);
+        assert_eq!(
+            reg.counter(ObsLayer::Lsm, "stall.slowdown_count"),
+            s.slowdown_count
+        );
         assert_eq!(reg.counter(ObsLayer::Lsm, "stall.stop_count"), s.stop_count);
-        assert_eq!(reg.counter(ObsLayer::Lsm, "stall.memtable_count"), s.memtable_count);
+        assert_eq!(
+            reg.counter(ObsLayer::Lsm, "stall.memtable_count"),
+            s.memtable_count
+        );
         drop(guard);
 
         // Deferred mode still serves reads correctly.

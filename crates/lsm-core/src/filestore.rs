@@ -7,17 +7,18 @@
 use crate::error::{Error, Result};
 use crate::types::FileId;
 use smr_sim::{Disk, DiskSnapshot, Extent, IoKind};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Chunk granularity of the conventional log zone.
 pub const LOG_CHUNK: u64 = 256 * 1024;
 
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct LogFile {
     chunks: Vec<u64>,
     len: u64,
 }
 
+#[derive(Debug)]
 struct LogZone {
     base: u64,
     chunk_count: u64,
@@ -37,11 +38,11 @@ impl LogZone {
 /// [`smr_sim::FaultPlan::snapshot_every`] is armed (sub-operation crash
 /// points are covered by torn-write injection, which needs no image), and
 /// restored with [`FileStore::restore_crash_image`].
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CrashImage {
     disk: DiskSnapshot,
-    files: HashMap<FileId, Extent>,
-    logs: HashMap<FileId, LogFile>,
+    files: BTreeMap<FileId, Extent>,
+    logs: BTreeMap<FileId, LogFile>,
     zone_free: BTreeSet<u64>,
 }
 
@@ -53,10 +54,11 @@ impl CrashImage {
 }
 
 /// File-id → extent indirection over one simulated disk.
+#[derive(Debug)]
 pub struct FileStore {
     disk: Disk,
-    files: HashMap<FileId, Extent>,
-    logs: HashMap<FileId, LogFile>,
+    files: BTreeMap<FileId, Extent>,
+    logs: BTreeMap<FileId, LogFile>,
     zone: LogZone,
     /// Crash images pending collection by the fault harness.
     crash_images: Vec<CrashImage>,
@@ -74,8 +76,8 @@ impl FileStore {
         let base = capacity - chunk_count * LOG_CHUNK;
         FileStore {
             disk,
-            files: HashMap::new(),
-            logs: HashMap::new(),
+            files: BTreeMap::new(),
+            logs: BTreeMap::new(),
             zone: LogZone {
                 base,
                 chunk_count,
@@ -168,7 +170,13 @@ impl FileStore {
 
     /// Writes `data` at `ext` and registers it as file `id`. The extent
     /// comes from a placement policy's allocator.
-    pub fn write_file_at(&mut self, id: FileId, ext: Extent, data: &[u8], kind: IoKind) -> Result<()> {
+    pub fn write_file_at(
+        &mut self,
+        id: FileId,
+        ext: Extent,
+        data: &[u8],
+        kind: IoKind,
+    ) -> Result<()> {
         debug_assert_eq!(ext.len as usize, data.len());
         self.disk.set_trace_file(id);
         self.disk.write(ext, data, kind)?;
@@ -201,7 +209,13 @@ impl FileStore {
     }
 
     /// Reads `len` bytes at `offset` within file `id`.
-    pub fn read_file(&mut self, id: FileId, offset: u64, len: u64, kind: IoKind) -> Result<Vec<u8>> {
+    pub fn read_file(
+        &mut self,
+        id: FileId,
+        offset: u64,
+        len: u64,
+        kind: IoKind,
+    ) -> Result<Vec<u8>> {
         let ext = self.file_extent(id)?;
         if offset + len > ext.len {
             return Err(Error::InvalidArgument(format!(
@@ -268,7 +282,10 @@ impl FileStore {
         let mut pos = 0usize;
         let mut pieces: Vec<(u64, usize, usize)> = Vec::new(); // (disk offset, start, end)
         {
-            let log = self.logs.get(&id).expect("checked above");
+            let log = self
+                .logs
+                .get(&id)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
             let mut chunk_list = log.chunks.clone();
             while pos < data.len() {
                 let within = len % LOG_CHUNK;
@@ -312,7 +329,10 @@ impl FileStore {
             }
         }
         if let Some((acked, err)) = torn {
-            let log = self.logs.get_mut(&id).expect("checked above");
+            let log = self
+                .logs
+                .get_mut(&id)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
             let new_len = log.len + acked as u64;
             let covering = new_len.div_ceil(LOG_CHUNK) as usize;
             for chunk in chunks_needed {
@@ -327,7 +347,10 @@ impl FileStore {
             log.len = new_len;
             return Err(err);
         }
-        let log = self.logs.get_mut(&id).expect("checked above");
+        let log = self
+            .logs
+            .get_mut(&id)
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown log {id}")))?;
         log.chunks.extend(chunks_needed);
         log.len = len;
         self.maybe_capture_crash_image();
@@ -484,7 +507,8 @@ mod tests {
     fn transient_read_is_retried_once() {
         let mut s = fs();
         let data = vec![0x5A; 4096];
-        s.write_file_at(7, Extent::new(0, 4096), &data, IoKind::Flush).unwrap();
+        s.write_file_at(7, Extent::new(0, 4096), &data, IoKind::Flush)
+            .unwrap();
         s.disk_mut().faults_mut().fail_reads_transiently(2);
         // The retry is internal: the caller just sees a successful read.
         assert_eq!(s.read_full(7, IoKind::Get).unwrap(), data);
@@ -506,12 +530,14 @@ mod tests {
     #[test]
     fn crash_image_restores_files_and_logs() {
         let mut s = fs();
-        s.write_file_at(7, Extent::new(0, 64), &[1u8; 64], IoKind::Flush).unwrap();
+        s.write_file_at(7, Extent::new(0, 64), &[1u8; 64], IoKind::Flush)
+            .unwrap();
         s.create_log(100).unwrap();
         s.log_append(100, &[2u8; 100], IoKind::Wal).unwrap();
         let img = s.crash_image();
         // Diverge: new file, more log data, drop the original file.
-        s.write_file_at(8, Extent::new(4096, 64), &[3u8; 64], IoKind::Flush).unwrap();
+        s.write_file_at(8, Extent::new(4096, 64), &[3u8; 64], IoKind::Flush)
+            .unwrap();
         s.log_append(100, &[4u8; 100], IoKind::Wal).unwrap();
         s.drop_file(7).unwrap();
         s.restore_crash_image(&img);

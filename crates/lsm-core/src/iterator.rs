@@ -31,6 +31,15 @@ pub struct MergingIterator<'a> {
     current: Option<usize>,
 }
 
+impl std::fmt::Debug for MergingIterator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergingIterator")
+            .field("children", &self.children.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
 impl<'a> MergingIterator<'a> {
     /// Creates a merging iterator; children need not be positioned.
     pub fn new(children: Vec<Box<dyn InternalIterator + 'a>>) -> Self {
@@ -97,6 +106,7 @@ impl<'a> InternalIterator for MergingIterator<'a> {
 
 /// An iterator over an in-memory sorted list of (internal key, value)
 /// pairs; used in tests and as a building block.
+#[derive(Debug)]
 pub struct VecIterator {
     entries: Vec<(Vec<u8>, Vec<u8>)>,
     pos: usize,

@@ -24,18 +24,31 @@
 //! assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
 //! ```
 
+/// Byte-budgeted LRU caches (block cache, table cache).
 pub mod cache;
+/// Shared store context threading the file store and caches.
 pub mod context;
+/// The database core: writes, reads, flushes, compactions.
 pub mod db;
+/// Error and result types for the engine.
 pub mod error;
+/// File-id to disk-extent indirection over the simulated disk.
 pub mod filestore;
+/// Internal iterator traits and the merging iterator.
 pub mod iterator;
+/// Skiplist memtable with arena storage.
 pub mod memtable;
+/// Placement-policy trait and the per-file baseline policy.
 pub mod policy;
+/// SSTable blocks, builders and readers.
 pub mod sstable;
+/// Core identifiers: file ids, sequence numbers, value tags.
 pub mod types;
+/// Wire coding, checksums, bloom filters and the seeded RNG.
 pub mod util;
+/// Versioned file-layout metadata and manifest logging.
 pub mod version;
+/// Write-ahead log record format (LevelDB block framing).
 pub mod wal;
 
 pub use db::{

@@ -9,9 +9,7 @@
 //! and inserts never move data.
 
 use crate::iterator::InternalIterator;
-use crate::types::{
-    self, internal_compare, SequenceNumber, ValueType,
-};
+use crate::types::{self, internal_compare, SequenceNumber, ValueType};
 use crate::util::coding::{get_varint64, put_varint64};
 use crate::util::rng::XorShift64;
 use std::cmp::Ordering;
@@ -20,6 +18,7 @@ const MAX_HEIGHT: usize = 12;
 const BRANCHING: u64 = 4;
 const NIL: u32 = u32::MAX;
 
+#[derive(Debug)]
 struct Node {
     /// Arena offset of the encoded entry.
     entry: u32,
@@ -29,6 +28,7 @@ struct Node {
 }
 
 /// The memtable.
+#[derive(Debug)]
 pub struct MemTable {
     arena: Vec<u8>,
     nodes: Vec<Node>,
@@ -104,8 +104,8 @@ impl MemTable {
         let mut level = self.max_height - 1;
         loop {
             let nxt = self.nodes[x as usize].next[level];
-            let advance = nxt != NIL
-                && internal_compare(self.node_key(nxt), ikey) == Ordering::Less;
+            let advance =
+                nxt != NIL && internal_compare(self.node_key(nxt), ikey) == Ordering::Less;
             if advance {
                 x = nxt;
             } else {
@@ -186,6 +186,7 @@ impl MemTable {
 }
 
 /// Iterator over a memtable.
+#[derive(Debug)]
 pub struct MemTableIterator<'a> {
     mem: &'a MemTable,
     node: u32,
@@ -288,7 +289,12 @@ mod tests {
     fn iterator_seek() {
         let mut m = mt();
         for i in 0..100u64 {
-            m.add(i + 1, ValueType::Value, format!("key{i:03}").as_bytes(), b"v");
+            m.add(
+                i + 1,
+                ValueType::Value,
+                format!("key{i:03}").as_bytes(),
+                b"v",
+            );
         }
         let mut it = m.iter();
         it.seek(&types::lookup_key(b"key050", u64::MAX >> 8));
@@ -305,7 +311,12 @@ mod tests {
         // Insert in a scrambled order.
         for i in 0..n {
             let k = (i * 2654435761) % n;
-            m.add(i + 1, ValueType::Value, format!("{k:08}").as_bytes(), &k.to_le_bytes());
+            m.add(
+                i + 1,
+                ValueType::Value,
+                format!("{k:08}").as_bytes(),
+                &k.to_le_bytes(),
+            );
         }
         let mut it = m.iter();
         it.seek_to_first();

@@ -164,6 +164,15 @@ pub struct PerFilePolicy {
     fs_journal: bool,
 }
 
+impl std::fmt::Debug for PerFilePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerFilePolicy")
+            .field("alloc", &self.alloc.name())
+            .field("fs_journal", &self.fs_journal)
+            .finish()
+    }
+}
+
 impl PerFilePolicy {
     /// Creates a policy over the given allocator, without filesystem
     /// journal overhead (direct-on-disk stores).

@@ -16,6 +16,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Builds one block.
+#[derive(Debug)]
 pub struct BlockBuilder {
     buf: Vec<u8>,
     restarts: Vec<u32>,
@@ -98,6 +99,7 @@ impl BlockBuilder {
 }
 
 /// An immutable, parsed block.
+#[derive(Debug)]
 pub struct Block {
     data: Arc<Vec<u8>>,
     restarts_offset: usize,
@@ -145,6 +147,7 @@ impl Block {
 }
 
 /// Iterator over one block.
+#[derive(Debug)]
 pub struct BlockIter {
     block: Arc<Block>,
     /// Offset of the current entry; `usize::MAX` = invalid.
@@ -188,8 +191,7 @@ impl BlockIter {
             return false;
         }
         self.key.truncate(shared);
-        self.key
-            .extend_from_slice(&data[hdr..hdr + non_shared]);
+        self.key.extend_from_slice(&data[hdr..hdr + non_shared]);
         let vstart = off + hdr + non_shared;
         self.value_range = (vstart, vstart + vlen);
         self.offset = off;
@@ -335,7 +337,11 @@ mod tests {
         let block = Arc::new(Block::new(b.finish()).unwrap());
         for k in &keys {
             let mut it = block.iter();
-            it.seek(&make_internal_key(k.as_bytes(), u64::MAX >> 8, ValueType::Value));
+            it.seek(&make_internal_key(
+                k.as_bytes(),
+                u64::MAX >> 8,
+                ValueType::Value,
+            ));
             assert!(it.valid(), "seek {k}");
             assert_eq!(user_key(it.key()), k.as_bytes());
         }

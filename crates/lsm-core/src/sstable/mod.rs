@@ -1,6 +1,8 @@
 //! SSTable machinery: blocks, filters, builder and reader.
 
+/// Restart-point key-prefix-compressed blocks.
 pub mod block;
+/// SSTable builder, footer, index and reader.
 pub mod table;
 
 pub use block::{Block, BlockBuilder, BlockIter};

@@ -16,13 +16,9 @@ use crate::context::SharedCtx;
 use crate::error::{corruption, Result};
 use crate::iterator::InternalIterator;
 use crate::sstable::block::{Block, BlockBuilder, BlockIter};
-use crate::types::{
-    self, make_internal_key, user_key, FileId, ValueType, MAX_SEQUENCE,
-};
+use crate::types::{self, make_internal_key, user_key, FileId, ValueType, MAX_SEQUENCE};
 use crate::util::bloom::BloomFilter;
-use crate::util::coding::{
-    decode_fixed64, get_varint64, put_fixed64, put_varint64,
-};
+use crate::util::coding::{decode_fixed64, get_varint64, put_fixed64, put_varint64};
 use crate::util::crc32c;
 use smr_sim::IoKind;
 use std::sync::Arc;
@@ -117,6 +113,7 @@ fn successor(last: &[u8]) -> Vec<u8> {
 
 /// Builds one SSTable into an in-memory byte buffer; the placement policy
 /// decides where the bytes land on disk.
+#[derive(Debug)]
 pub struct TableBuilder {
     opts: TableOptions,
     buf: Vec<u8>,
@@ -181,7 +178,10 @@ impl TableBuilder {
             return;
         }
         let last = self.block.last_key().to_vec();
-        let block = std::mem::replace(&mut self.block, BlockBuilder::new(self.opts.restart_interval));
+        let block = std::mem::replace(
+            &mut self.block,
+            BlockBuilder::new(self.opts.restart_interval),
+        );
         let handle = Self::write_raw_block(&mut self.buf, &block.finish());
         self.pending = Some((last, handle));
     }
@@ -289,6 +289,7 @@ pub fn parse_footer(footer: &[u8]) -> Result<(BlockHandle, BlockHandle)> {
 
 /// An open table reader: index and bloom filter pinned in memory, data
 /// blocks fetched on demand through the shared context's block cache.
+#[derive(Debug)]
 pub struct Table {
     file: FileId,
     file_size: u64,
@@ -361,9 +362,7 @@ impl Table {
 
     /// Whether the bloom filter definitively excludes `ukey`.
     pub fn bloom_excludes(&self, ukey: &[u8]) -> bool {
-        self.bloom
-            .as_ref()
-            .is_some_and(|b| !b.may_contain(ukey))
+        self.bloom.as_ref().is_some_and(|b| !b.may_contain(ukey))
     }
 
     fn read_block(
@@ -442,6 +441,7 @@ impl Table {
 }
 
 /// Two-level iterator: index block -> data blocks.
+#[derive(Debug)]
 pub struct TableIterator {
     table: Arc<Table>,
     ctx: SharedCtx,
@@ -458,9 +458,10 @@ impl TableIterator {
         if !self.index_iter.valid() {
             return;
         }
-        match BlockHandle::decode(self.index_iter.value())
-            .and_then(|(h, _)| self.table.read_block(&self.ctx, h, self.kind, self.use_cache))
-        {
+        match BlockHandle::decode(self.index_iter.value()).and_then(|(h, _)| {
+            self.table
+                .read_block(&self.ctx, h, self.kind, self.use_cache)
+        }) {
             Ok(block) => self.block_iter = Some(block.iter()),
             Err(e) => self.error = Some(e),
         }
@@ -469,11 +470,7 @@ impl TableIterator {
     /// Skips forward through index entries until the data iterator is
     /// valid or the index is exhausted.
     fn skip_empty_blocks(&mut self) {
-        while self
-            .block_iter
-            .as_ref()
-            .is_some_and(|b| !b.valid())
-        {
+        while self.block_iter.as_ref().is_some_and(|b| !b.valid()) {
             if !self.index_iter.valid() {
                 self.block_iter = None;
                 return;
@@ -586,7 +583,10 @@ mod tests {
             ..Default::default()
         });
         for i in 0..n {
-            b.add(&ik(&format!("key{i:06}"), 1), format!("value{i:06}").as_bytes());
+            b.add(
+                &ik(&format!("key{i:06}"), 1),
+                format!("value{i:06}").as_bytes(),
+            );
         }
         b.finish()
     }
@@ -702,8 +702,14 @@ mod tests {
 
     #[test]
     fn footer_roundtrip() {
-        let f = BlockHandle { offset: 123, size: 456 };
-        let i = BlockHandle { offset: 789, size: 1011 };
+        let f = BlockHandle {
+            offset: 123,
+            size: 456,
+        };
+        let i = BlockHandle {
+            offset: 789,
+            size: 1011,
+        };
         let mut footer = Vec::new();
         f.encode(&mut footer);
         i.encode(&mut footer);

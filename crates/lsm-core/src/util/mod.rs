@@ -1,6 +1,10 @@
 //! Internal utilities: wire coding, checksums, bloom filters, RNG.
 
+/// LevelDB-compatible bloom filter.
 pub mod bloom;
+/// Varint and fixed-width little-endian wire coding.
 pub mod coding;
+/// CRC32C (Castagnoli) with LevelDB's mask/unmask.
 pub mod crc32c;
+/// Seeded xorshift64* RNG for deterministic height draws.
 pub mod rng;

@@ -5,9 +5,7 @@
 
 use crate::error::{corruption, Result};
 use crate::types::FileId;
-use crate::util::coding::{
-    get_length_prefixed, get_varint64, put_length_prefixed, put_varint64,
-};
+use crate::util::coding::{get_length_prefixed, get_varint64, put_length_prefixed, put_varint64};
 use std::sync::Arc;
 
 /// Metadata of one SSTable.
@@ -96,7 +94,10 @@ impl VersionEdit {
                     *src = &src[n..];
                     Ok(v)
                 }
-                None => corruption("truncated varint in version edit"),
+                None => corruption(format!(
+                    "truncated varint in version edit ({} byte(s) left in record)",
+                    src.len()
+                )),
             }
         }
         fn take_bytes(src: &mut &[u8]) -> Result<Vec<u8>> {
@@ -106,7 +107,10 @@ impl VersionEdit {
                     *src = &src[n..];
                     Ok(v)
                 }
-                None => corruption("truncated slice in version edit"),
+                None => corruption(format!(
+                    "truncated length-prefixed slice in version edit ({} byte(s) left in record)",
+                    src.len()
+                )),
             }
         }
         while !src.is_empty() {

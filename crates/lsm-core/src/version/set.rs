@@ -88,6 +88,10 @@ impl Compaction {
     /// User-key range spanned by all inputs: (smallest, largest).
     pub fn user_range(&self) -> (Vec<u8>, Vec<u8>) {
         let mut it = self.inputs.iter().flatten();
+        // Compactions are only constructed with at least one input file
+        // (`pick_compaction` returns `None` otherwise), and this runs at
+        // compaction time, not during crash recovery.
+        // seal-lint: allow(no-unwrap-in-recovery)
         let first = it.next().expect("compaction has inputs");
         let mut lo = user_key(&first.smallest).to_vec();
         let mut hi = user_key(&first.largest).to_vec();
@@ -104,6 +108,7 @@ impl Compaction {
 }
 
 /// Owns versions, counters and the manifest.
+#[derive(Debug)]
 pub struct VersionSet {
     params: LevelParams,
     current: Arc<Version>,
@@ -154,7 +159,9 @@ impl VersionSet {
     /// with no intact edit at all is an error.
     pub fn recover(&mut self, fs: &mut FileStore) -> Result<ManifestRecovery> {
         if !fs.has_log(MANIFEST_LOG_ID) {
-            return corruption("missing manifest log");
+            return corruption(format!(
+                "missing manifest log (expected log id {MANIFEST_LOG_ID})"
+            ));
         }
         let data = fs.log_read_all(MANIFEST_LOG_ID, IoKind::Meta)?;
         let mut reader = LogReader::new(&data);
@@ -191,7 +198,11 @@ impl VersionSet {
             report.edits_applied += 1;
         }
         if report.edits_applied == 0 && !data.is_empty() {
-            return corruption("manifest contains no intact edits");
+            return corruption(format!(
+                "manifest log {MANIFEST_LOG_ID} contains no intact edits ({} bytes, {} record(s) dropped)",
+                data.len(),
+                report.records_dropped
+            ));
         }
         version
             .check_invariants()
@@ -308,7 +319,10 @@ impl VersionSet {
     /// a compaction is due).
     pub fn compaction_score(&self) -> (usize, f64) {
         let v = &self.current;
-        let mut best = (0usize, v.level_file_count(0) as f64 / self.params.l0_trigger as f64);
+        let mut best = (
+            0usize,
+            v.level_file_count(0) as f64 / self.params.l0_trigger as f64,
+        );
         for level in 1..self.params.num_levels - 1 {
             let score = v.level_bytes(level) as f64 / self.params.max_bytes(level) as f64;
             if score > best.1 {
@@ -378,9 +392,11 @@ impl VersionSet {
         }
         let mut best: Option<(usize, u64)> = None;
         for (i, f) in files.iter().enumerate() {
-            let overlapped =
-                self.current
-                    .overlapping_files(level + 1, user_key(&f.smallest), user_key(&f.largest));
+            let overlapped = self.current.overlapping_files(
+                level + 1,
+                user_key(&f.smallest),
+                user_key(&f.largest),
+            );
             let score = priority(&overlapped);
             if score > 0 && best.is_none_or(|(_, s)| score > s) {
                 best = Some((i, score));
@@ -473,7 +489,9 @@ mod tests {
         let mut edit2 = VersionEdit::default();
         let id2 = vs.new_file_id();
         edit2.add_file(1, meta(id2, "n", "z", 6 * MB));
-        edit2.compact_pointers.push((1, make_internal_key(b"m", 1, ValueType::Value)));
+        edit2
+            .compact_pointers
+            .push((1, make_internal_key(b"m", 1, ValueType::Value)));
         vs.log_and_apply(&mut store, edit2).unwrap();
 
         // Recover into a fresh set.
@@ -548,7 +566,9 @@ mod tests {
         let mut bytes = w.take();
         let n = bytes.len();
         bytes[n - 1] ^= 0xFF;
-        store.log_append(MANIFEST_LOG_ID, &bytes, IoKind::Meta).unwrap();
+        store
+            .log_append(MANIFEST_LOG_ID, &bytes, IoKind::Meta)
+            .unwrap();
 
         let mut vs2 = VersionSet::new(params());
         let rep = vs2.recover(&mut store).unwrap();
@@ -573,7 +593,9 @@ mod tests {
         mangled[n - 1] ^= 0xFF;
         store.delete_log(MANIFEST_LOG_ID).unwrap();
         store.create_log(MANIFEST_LOG_ID).unwrap();
-        store.log_append(MANIFEST_LOG_ID, &mangled, IoKind::Meta).unwrap();
+        store
+            .log_append(MANIFEST_LOG_ID, &mangled, IoKind::Meta)
+            .unwrap();
 
         let mut vs2 = VersionSet::new(params());
         let err = vs2.recover(&mut store).unwrap_err();
@@ -640,7 +662,8 @@ mod tests {
         edit.add_file(2, meta(30, "a", "e", MB));
         edit.add_file(2, meta(31, "h", "k", MB));
         // Pointer past file 20's largest: the picker must take file 21.
-        edit.compact_pointers.push((1, make_internal_key(b"f", 0, ValueType::Deletion)));
+        edit.compact_pointers
+            .push((1, make_internal_key(b"f", 0, ValueType::Deletion)));
         vs.log_and_apply(&mut store, edit).unwrap();
         let c = vs.pick_compaction(None).expect("size compaction due");
         assert_eq!(c.level, 1);
@@ -666,7 +689,10 @@ mod tests {
             overlapped.iter().filter(|f| f.id == 31).count() as u64
         };
         let c = vs.pick_compaction(Some(&prio)).unwrap();
-        assert_eq!(c.inputs[0][0].id, 21, "priority picked the set with file 31");
+        assert_eq!(
+            c.inputs[0][0].id, 21,
+            "priority picked the set with file 31"
+        );
     }
 
     #[test]
@@ -675,7 +701,10 @@ mod tests {
             level: 1,
             inputs: [
                 vec![Arc::new(meta(1, "d", "k", 1))],
-                vec![Arc::new(meta(2, "a", "e", 1)), Arc::new(meta(3, "j", "q", 1))],
+                vec![
+                    Arc::new(meta(2, "a", "e", 1)),
+                    Arc::new(meta(3, "j", "q", 1)),
+                ],
             ],
             grandparents: Vec::new(),
         };

@@ -119,8 +119,7 @@ impl Version {
     /// Whether any file in levels strictly deeper than `level` overlaps
     /// the user-key range (used to decide tombstone dropping).
     pub fn range_overlaps_deeper(&self, level: usize, begin: &[u8], end: &[u8]) -> bool {
-        (level + 1..self.files.len())
-            .any(|l| !self.overlapping_files(l, begin, end).is_empty())
+        (level + 1..self.files.len()).any(|l| !self.overlapping_files(l, begin, end).is_empty())
     }
 
     /// Sanity check: deeper levels sorted by smallest key and disjoint.

@@ -24,6 +24,7 @@ const MIDDLE: u8 = 3;
 const LAST: u8 = 4;
 
 /// Appends records in the log format.
+#[derive(Debug)]
 pub struct LogWriter {
     buf: Vec<u8>,
     block_offset: usize,
@@ -99,6 +100,7 @@ impl Default for LogWriter {
 }
 
 /// Reads records back from a materialised log.
+#[derive(Debug)]
 pub struct LogReader<'a> {
     data: &'a [u8],
     pos: usize,
@@ -170,31 +172,50 @@ impl<'a> LogReader<'a> {
                     };
                 }
                 Some(Err(())) => {
-                    return Some(corruption("bad record crc"));
+                    return Some(corruption(format!(
+                        "bad record crc near byte {} of wal (dropped {} bytes so far)",
+                        self.pos, self.dropped_bytes
+                    )));
                 }
                 Some(Ok((ty, frag))) => match ty {
                     FULL => {
                         if assembled.is_some() {
-                            return Some(corruption("FULL record inside fragment chain"));
+                            return Some(corruption(format!(
+                                "FULL record inside fragment chain near byte {} of wal",
+                                self.pos
+                            )));
                         }
                         return Some(Ok(frag.to_vec()));
                     }
                     FIRST => {
                         if assembled.is_some() {
-                            return Some(corruption("FIRST record inside fragment chain"));
+                            return Some(corruption(format!(
+                                "FIRST record inside fragment chain near byte {} of wal",
+                                self.pos
+                            )));
                         }
                         assembled = Some(frag.to_vec());
                     }
                     MIDDLE => match assembled.as_mut() {
                         Some(a) => a.extend_from_slice(frag),
-                        None => return Some(corruption("MIDDLE record without FIRST")),
+                        None => {
+                            return Some(corruption(format!(
+                                "MIDDLE record without FIRST near byte {} of wal",
+                                self.pos
+                            )))
+                        }
                     },
                     LAST => match assembled.take() {
                         Some(mut a) => {
                             a.extend_from_slice(frag);
                             return Some(Ok(a));
                         }
-                        None => return Some(corruption("LAST record without FIRST")),
+                        None => {
+                            return Some(corruption(format!(
+                                "LAST record without FIRST near byte {} of wal",
+                                self.pos
+                            )))
+                        }
                     },
                     _ => unreachable!("fragment type validated"),
                 },

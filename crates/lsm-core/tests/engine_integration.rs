@@ -41,7 +41,11 @@ fn batched_writes_are_atomic_and_ordered() {
     db.write(batch).unwrap();
     assert_eq!(u64::from(count), db.last_sequence());
     assert_eq!(db.get(&kv(0).0).unwrap(), Some(kv(0).1));
-    assert_eq!(db.get(&kv(50).0).unwrap(), None, "later delete wins in batch");
+    assert_eq!(
+        db.get(&kv(50).0).unwrap(),
+        None,
+        "later delete wins in batch"
+    );
     assert_eq!(db.get(&kv(99).0).unwrap(), Some(kv(99).1));
 }
 
@@ -58,11 +62,19 @@ fn deep_levels_form_under_sustained_load() {
     v.check_invariants().unwrap();
     // With AF=10 and tiny tables the tree must reach level 2+.
     let deep: usize = (2..v.num_levels()).map(|l| v.level_file_count(l)).sum();
-    assert!(deep > 0, "no files below level 1: {:?}", (0..7).map(|l| v.level_file_count(l)).collect::<Vec<_>>());
+    assert!(
+        deep > 0,
+        "no files below level 1: {:?}",
+        (0..7).map(|l| v.level_file_count(l)).collect::<Vec<_>>()
+    );
     // Spot-check correctness after all that churn.
     for i in (0..30_000u64).step_by(997) {
         let (k, _) = kv(i);
-        assert_eq!(db.get(&k).unwrap(), Some(vec![(i % 251) as u8; 48]), "key {i}");
+        assert_eq!(
+            db.get(&k).unwrap(),
+            Some(vec![(i % 251) as u8; 48]),
+            "key {i}"
+        );
     }
 }
 
@@ -89,8 +101,7 @@ fn table_iterator_via_cache_matches_file_contents() {
                 assert!(it.key() >= f.smallest.as_slice() || prev.is_none());
                 if let Some(p) = &prev {
                     assert!(
-                        lsm_core::types::internal_compare(p, it.key())
-                            == std::cmp::Ordering::Less
+                        lsm_core::types::internal_compare(p, it.key()) == std::cmp::Ordering::Less
                     );
                 }
                 prev = Some(it.key().to_vec());

@@ -30,6 +30,7 @@ struct AllocRecord {
 }
 
 /// The paper's dynamic-band allocator.
+#[derive(Debug)]
 pub struct DynamicBandAlloc {
     capacity: u64,
     /// Guard region size (`S_guard`); one SSTable in the paper (4 MB).
@@ -116,8 +117,7 @@ impl Allocator for DynamicBandAlloc {
             // Split: data | guard | remainder (returned to the pool).
             let remainder = hole.len - need;
             if remainder > 0 {
-                self.free
-                    .insert(Extent::new(hole.offset + need, remainder));
+                self.free.insert(Extent::new(hole.offset + need, remainder));
             }
             self.live.insert(
                 hole.offset,
@@ -169,8 +169,7 @@ impl Allocator for DynamicBandAlloc {
         self.allocated -= rec.data_len;
         // The guard bytes reserved with the allocation are recycled too;
         // coalescing happens inside the free list.
-        self.free
-            .insert(Extent::new(ext.offset, rec.reserved_len));
+        self.free.insert(Extent::new(ext.offset, rec.reserved_len));
         self.events.push(AllocEvent {
             kind: ObsEventKind::BandRecycle,
             offset: ext.offset,

@@ -23,6 +23,7 @@
 use crate::{AllocError, Allocator};
 use smr_sim::{AllocEvent, Extent, ExtentSet, ObsEventKind};
 
+#[derive(Debug)]
 struct BlockGroup {
     base: u64,
     size: u64,
@@ -44,6 +45,7 @@ impl BlockGroup {
 }
 
 /// The Ext4-like allocator.
+#[derive(Debug)]
 pub struct Ext4Sim {
     groups: Vec<BlockGroup>,
     group_size: u64,

@@ -11,6 +11,7 @@ use smr_sim::{AllocEvent, Extent, ObsEventKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Dedicated-band allocator.
+#[derive(Debug)]
 pub struct FixedBandAlloc {
     band_size: u64,
     /// Band indices currently free, lowest first.
@@ -51,10 +52,7 @@ impl FixedBandAlloc {
 
     /// Bytes wasted to internal fragmentation (band tails past the data).
     pub fn internal_waste(&self) -> u64 {
-        self.live
-            .values()
-            .map(|&len| self.band_size - len)
-            .sum()
+        self.live.values().map(|&len| self.band_size - len).sum()
     }
 }
 
@@ -69,10 +67,14 @@ impl Allocator for FixedBandAlloc {
                 self.band_size
             )));
         }
-        let band = *self.free_bands.iter().next().ok_or(AllocError::OutOfSpace {
-            requested: size,
-            free: 0,
-        })?;
+        let band = *self
+            .free_bands
+            .iter()
+            .next()
+            .ok_or(AllocError::OutOfSpace {
+                requested: size,
+                free: 0,
+            })?;
         self.free_bands.remove(&band);
         let base = band * self.band_size;
         // A band past the old high-water mark is a fresh append; a band
@@ -197,10 +199,7 @@ mod tests {
         let mut a = FixedBandAlloc::new(80 * MB, 40 * MB);
         a.allocate(MB).unwrap();
         a.allocate(MB).unwrap();
-        assert!(matches!(
-            a.allocate(MB),
-            Err(AllocError::OutOfSpace { .. })
-        ));
+        assert!(matches!(a.allocate(MB), Err(AllocError::OutOfSpace { .. })));
     }
 
     #[test]

@@ -30,6 +30,7 @@ struct Node {
 }
 
 /// The sorted-array-of-doubly-linked-lists free-space structure.
+#[derive(Debug)]
 pub struct FreeSpaceList {
     /// Size-class granularity (one SSTable in the paper: 4 MB).
     align: u64,

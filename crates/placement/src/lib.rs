@@ -19,9 +19,13 @@
 //! All allocators speak the same [`Allocator`] trait so the LSM engine's
 //! file store can be parameterised over them.
 
+/// The paper's dynamic-band free-space management.
 pub mod dynamicband;
+/// Ext4-like scatter allocation (block groups, goal search).
 pub mod ext4sim;
+/// Fixed-size band allocation for conventional SMR drives.
 pub mod fixedband;
+/// Address-ordered free-space list shared by the allocators.
 pub mod freelist;
 
 pub use dynamicband::DynamicBandAlloc;

@@ -94,7 +94,9 @@ fn dynamic_band_never_faults_raw_smr() {
             match op {
                 Op::Alloc(units) => {
                     let size = units * MB / 4;
-                    let Ok(ext) = alloc.allocate(size) else { continue };
+                    let Ok(ext) = alloc.allocate(size) else {
+                        continue;
+                    };
                     stamp = stamp.wrapping_add(1);
                     let data = vec![stamp; ext.len as usize];
                     // The allocator's contract: this write must be legal.
@@ -149,7 +151,12 @@ fn allocators_never_overlap() {
                 );
             }
             let total: u64 = live.iter().map(|e| e.len).sum();
-            assert_eq!(alloc.allocated_bytes(), total, "{} accounting", alloc.name());
+            assert_eq!(
+                alloc.allocated_bytes(),
+                total,
+                "{} accounting",
+                alloc.name()
+            );
             for e in &live {
                 assert!(e.end() <= alloc.high_water());
             }

@@ -136,7 +136,9 @@ impl StoreConfig {
 
     /// Builds the configured store.
     pub fn build(&self) -> Result<Store> {
-        let layout = self.layout_override.unwrap_or_else(|| self.default_layout());
+        let layout = self
+            .layout_override
+            .unwrap_or_else(|| self.default_layout());
         let opts = self.engine_options();
         let model = match layout {
             Layout::Hdd => TimeModel::hdd_st1000dm003(self.disk_capacity),
@@ -148,9 +150,10 @@ impl StoreConfig {
         // band's damage window cannot reach the zone.
         let data_cap = self.disk_capacity - opts.log_zone_bytes - self.guard_bytes();
         let policy: Box<dyn PlacementPolicy> = match self.kind {
-            StoreKind::LevelDb => Box::new(PerFilePolicy::with_fs_journal(Box::new(
-                Ext4Sim::new(data_cap, self.block_group_size()),
-            ))),
+            StoreKind::LevelDb => Box::new(PerFilePolicy::with_fs_journal(Box::new(Ext4Sim::new(
+                data_cap,
+                self.block_group_size(),
+            )))),
             StoreKind::LevelDbSets => Box::new(
                 SetPolicy::new(Box::new(Ext4Sim::new(data_cap, self.block_group_size())))
                     .with_fs_journal(),

@@ -37,9 +37,13 @@
 //! assert_eq!(snap.name, "SEALDB");
 //! ```
 
+/// Store construction configuration (drive kind, policy, sizes).
 pub mod config;
+/// Set-based placement over any allocator, with GC relocation.
 pub mod policy;
+/// Set-region bookkeeping: registration, fading, victim priority.
 pub mod set;
+/// The assembled SEALDB store facade.
 pub mod store;
 
 pub use config::{StoreConfig, StoreKind};

@@ -13,8 +13,8 @@
 
 use crate::set::SetRegistry;
 use lsm_core::filestore::FileStore;
-use lsm_core::types::FileId;
 use lsm_core::policy::{drain_alloc_events, GcConfig, GcReport};
+use lsm_core::types::FileId;
 use lsm_core::{PlacementPolicy, Result, SetStats};
 use placement::Allocator;
 use smr_sim::{Extent, IoKind, ObsEventKind, ObsLayer};
@@ -29,6 +29,17 @@ pub struct SetPolicy {
     /// Pays a 4 KiB filesystem-journal write per region operation; used
     /// by the "LevelDB + sets" ablation, which still sits above Ext4.
     fs_journal: bool,
+}
+
+impl std::fmt::Debug for SetPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetPolicy")
+            .field("alloc", &self.alloc.name())
+            .field("live_regions", &self.registry.live_count())
+            .field("priority_picking", &self.priority_picking)
+            .field("fs_journal", &self.fs_journal)
+            .finish()
+    }
 }
 
 impl SetPolicy {
@@ -236,7 +247,8 @@ impl PlacementPolicy for SetPolicy {
                     fs.write_file_at(*f, ext, data, IoKind::Gc)?;
                     offset += data.len() as u64;
                 }
-                self.registry.register(new_region, members, region.from_compaction);
+                self.registry
+                    .register(new_region, members, region.from_compaction);
                 report.moved_bytes += total;
             }
             self.alloc.free(region.ext);
@@ -274,7 +286,11 @@ mod tests {
     }
 
     fn policy(fs: &FileStore) -> SetPolicy {
-        SetPolicy::new(Box::new(DynamicBandAlloc::new(fs.data_capacity(), SST, SST)))
+        SetPolicy::new(Box::new(DynamicBandAlloc::new(
+            fs.data_capacity(),
+            SST,
+            SST,
+        )))
     }
 
     #[test]
@@ -390,8 +406,9 @@ mod gc_tests {
         let mut doomed = Vec::new();
         for i in 0..20 {
             // A live 3-table set...
-            let outputs: Vec<(u64, Vec<u8>)> =
-                (0..3).map(|j| (id + j, vec![i as u8; SST as usize])).collect();
+            let outputs: Vec<(u64, Vec<u8>)> = (0..3)
+                .map(|j| (id + j, vec![i as u8; SST as usize]))
+                .collect();
             p.place_outputs(fs, &outputs).unwrap();
             id += 3;
             // ...followed by a small set that will fade into a fragment
@@ -462,9 +479,7 @@ mod gc_tests {
         let outputs: Vec<(u64, Vec<u8>)> =
             (0..3).map(|j| (10 + j, vec![1u8; SST as usize])).collect();
         p.place_outputs(&mut fs, &outputs).unwrap();
-        let report = p
-            .collect_garbage(&mut fs, &GcConfig::default())
-            .unwrap();
+        let report = p.collect_garbage(&mut fs, &GcConfig::default()).unwrap();
         assert_eq!(report.relocated_sets, 0);
         assert_eq!(report.fragments_before, 0);
     }

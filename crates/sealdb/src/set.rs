@@ -11,7 +11,7 @@
 use lsm_core::types::FileId;
 use lsm_core::SetStats;
 use smr_sim::Extent;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One on-disk set region.
 #[derive(Clone, Debug)]
@@ -21,7 +21,7 @@ pub struct SetRegion {
     /// All member files written into the region.
     pub members: Vec<FileId>,
     /// Members still valid (not yet consumed by a compaction).
-    pub live: HashSet<FileId>,
+    pub live: BTreeSet<FileId>,
     /// Whether the region came from a compaction (vs a flush).
     pub from_compaction: bool,
 }
@@ -34,11 +34,11 @@ impl SetRegion {
 }
 
 /// Registry of all live set regions.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct SetRegistry {
     next_id: u64,
-    regions: HashMap<u64, SetRegion>,
-    file_region: HashMap<FileId, u64>,
+    regions: BTreeMap<u64, SetRegion>,
+    file_region: BTreeMap<FileId, u64>,
     stats: SetStats,
 }
 
@@ -52,12 +52,7 @@ impl SetRegistry {
     }
 
     /// Registers a new set region and returns its id.
-    pub fn register(
-        &mut self,
-        ext: Extent,
-        members: Vec<FileId>,
-        from_compaction: bool,
-    ) -> u64 {
+    pub fn register(&mut self, ext: Extent, members: Vec<FileId>, from_compaction: bool) -> u64 {
         debug_assert!(!members.is_empty());
         let id = self.next_id;
         self.next_id += 1;
@@ -111,8 +106,7 @@ impl SetRegistry {
     pub fn invalid_count_for_file(&self, file: FileId) -> u64 {
         self.region_of(file)
             .and_then(|id| self.regions.get(&id))
-            .map(|r| r.invalid_count() as u64)
-            .unwrap_or(0)
+            .map_or(0, |r| r.invalid_count() as u64)
     }
 
     /// The paper's victim priority: total invalid members across the
@@ -126,7 +120,7 @@ impl SetRegistry {
     /// inflates WA from ~9.3x to ~19x — see the victim-priority ablation
     /// bench.
     pub fn priority_for(&self, files: &[FileId]) -> u64 {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut score = 0u64;
         for &f in files {
             if let Some(id) = self.region_of(f) {
@@ -155,7 +149,7 @@ impl SetRegistry {
         Some(region)
     }
 
-    /// Live regions, in no particular order.
+    /// Live regions, in ascending id order.
     pub fn regions(&self) -> impl Iterator<Item = (&u64, &SetRegion)> {
         self.regions.iter()
     }

@@ -6,6 +6,7 @@ use lsm_core::{CompactionRecord, DbCore, Result, SetStats};
 use smr_sim::{Extent, IoStats, Obs, ObsLayer, TraceEvent};
 
 /// One of the paper's key-value stores, ready for workloads.
+#[derive(Debug)]
 pub struct Store {
     /// Which system this is.
     pub kind: StoreKind,
@@ -281,7 +282,11 @@ impl Store {
             "fault_transient_read_errors",
             f.transient_read_errors as f64,
         );
-        obs.gauge_set(ObsLayer::Device, "fault_read_retries", f.read_retries as f64);
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_read_retries",
+            f.read_retries as f64,
+        );
         obs.gauge_set(
             ObsLayer::Device,
             "fault_checksum_failures",
@@ -359,7 +364,10 @@ mod tests {
         assert!(wa >= 1.0);
         assert!((mwa - wa * awa).abs() < 1e-9);
         // Fault gauges exist (zero on this clean run).
-        assert_eq!(m.obs.registry.gauge(ObsLayer::Device, "fault_torn_writes"), 0.0);
+        assert_eq!(
+            m.obs.registry.gauge(ObsLayer::Device, "fault_torn_writes"),
+            0.0
+        );
         // The allocator's band lifecycle reached the placement layer.
         assert!(m.obs.registry.counter(ObsLayer::Placement, "band-append") > 0);
         assert!(!m.obs.tracer.is_empty());

@@ -17,6 +17,7 @@
 //!   persistent media cache absorbing out-of-order writes, drained by a
 //!   stop-the-world cleaning pass (the paper's §II-C bimodality).
 
+use crate::audit::ShingleAuditor;
 use crate::error::{DiskError, DiskResult};
 use crate::extent::{Extent, ExtentSet};
 use crate::fault::{FaultPlan, WriteFault};
@@ -25,7 +26,7 @@ use crate::stats::{IoKind, IoStats};
 use crate::store::SparseStore;
 use crate::timemodel::TimeModel;
 use crate::trace::{TraceDir, TraceRecorder};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Controller/cache overhead charged to conventional-zone writes (WAL,
 /// manifest, filesystem journal), which drives absorb in their write
@@ -90,14 +91,14 @@ struct BandState {
 /// Volatile state — the simulated clock, statistics, traces and the
 /// read-ahead segments — is deliberately *not* part of the image: a
 /// power cut does not rewind time.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct DiskSnapshot {
     write_index: u64,
     store: SparseStore,
     valid: ExtentSet,
-    bands: HashMap<u64, BandState>,
+    bands: BTreeMap<u64, BandState>,
     cache_used: u64,
-    dirty_bands: HashMap<u64, u64>,
+    dirty_bands: BTreeMap<u64, u64>,
 }
 
 impl DiskSnapshot {
@@ -108,6 +109,7 @@ impl DiskSnapshot {
 }
 
 /// A simulated disk.
+#[derive(Debug)]
 pub struct Disk {
     capacity: u64,
     layout: Layout,
@@ -120,7 +122,7 @@ pub struct Disk {
     /// Valid (readable) data. For `RawHmSmr` this is the layout-enforcing
     /// set; for the other layouts it guards against use-after-free reads.
     valid: ExtentSet,
-    bands: HashMap<u64, BandState>,
+    bands: BTreeMap<u64, BandState>,
     trace_tag: u64,
     trace_file: u64,
     /// Read-ahead segments: end offsets of live streams (random
@@ -131,7 +133,7 @@ pub struct Disk {
     /// HA-SMR: bytes currently staged in the media cache.
     cache_used: u64,
     /// HA-SMR: dirty bands (band start -> highest staged end within).
-    dirty_bands: HashMap<u64, u64>,
+    dirty_bands: BTreeMap<u64, u64>,
     /// HA-SMR: completed cleaning passes.
     cleanings: u64,
     /// Fault injection: remaining writes before the disk starts failing.
@@ -146,6 +148,9 @@ pub struct Disk {
     /// Unified observability sink shared by every layer above. Volatile:
     /// like the statistics, it is not rolled back by [`Disk::restore`].
     obs: Obs,
+    /// Debug-build shadow check of the raw HM-SMR shingle contract.
+    /// `None` in release builds and for every other layout.
+    auditor: Option<ShingleAuditor>,
 }
 
 impl Disk {
@@ -154,23 +159,30 @@ impl Disk {
         if let Layout::FixedBand { band_size } = layout {
             assert!(band_size > 0, "band size must be positive");
         }
+        let auditor = match layout {
+            Layout::RawHmSmr { guard_bytes } if cfg!(debug_assertions) => {
+                Some(ShingleAuditor::new(capacity, guard_bytes))
+            }
+            _ => None,
+        };
         Disk {
             capacity,
             layout,
             model,
+            auditor,
             store: SparseStore::new(),
             clock_ns: 0,
             head: 0,
             stats: IoStats::new(),
             trace: TraceRecorder::new(),
             valid: ExtentSet::new(),
-            bands: HashMap::new(),
+            bands: BTreeMap::new(),
             trace_tag: 0,
             trace_file: 0,
             read_streams: Vec::new(),
             stream_rr: 0x9E3779B97F4A7C15,
             cache_used: 0,
-            dirty_bands: HashMap::new(),
+            dirty_bands: BTreeMap::new(),
             cleanings: 0,
             writes_until_failure: None,
             faults: FaultPlan::default(),
@@ -345,6 +357,11 @@ impl Disk {
         self.write_index = snap.write_index;
         self.read_streams.clear();
         self.head = 0;
+        // The valid set was rolled back wholesale; resync the shadow
+        // model to the restored state.
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.reset_to(self.valid.iter());
+        }
     }
 
     /// Drains the automatic crash-point snapshots accumulated so far
@@ -387,7 +404,12 @@ impl Disk {
         }
         self.valid.insert(ext);
         self.stats.faults.torn_writes += 1;
-        self.obs_event(ObsLayer::Device, ObsEventKind::TornWrite, ext.offset, persist);
+        self.obs_event(
+            ObsLayer::Device,
+            ObsEventKind::TornWrite,
+            ext.offset,
+            persist,
+        );
         Err(DiskError::TornWrite { ext })
     }
 
@@ -420,10 +442,7 @@ impl Disk {
         }
         // Segmented read-ahead: a read continuing a live stream is served
         // from the track buffer at transfer speed.
-        let stream_hit = self
-            .read_streams
-            .iter()
-            .position(|&end| end == ext.offset);
+        let stream_hit = self.read_streams.iter().position(|&end| end == ext.offset);
         let t = match stream_hit {
             Some(idx) => {
                 self.read_streams[idx] = ext.end();
@@ -452,7 +471,8 @@ impl Disk {
         self.clock_ns += t;
         self.stats.record_read(kind, ext.len, ext.len, t);
         self.obs.latency(ObsLayer::Device, "read_ns", t);
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Read, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Read, kind);
         let mut buf = self.store.read_vec(ext.offset, ext.len as usize);
         if self.faults.corrupt_buf(ext, &mut buf) > 0 {
             self.stats.faults.read_corruptions += 1;
@@ -552,7 +572,8 @@ impl Disk {
             off += n as u64;
             rest = &rest[n..];
         }
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
         Ok(())
     }
 
@@ -560,8 +581,9 @@ impl Disk {
     /// read-modify-write. This is the paper's "cache cleaning" stall —
     /// all foreground progress waits behind it.
     fn clean_media_cache(&mut self, kind: IoKind) {
-        let mut dirty: Vec<(u64, u64)> = self.dirty_bands.drain().collect();
-        dirty.sort_unstable();
+        // BTreeMap iterates in band order, so the drain is already the
+        // elevator-sorted cleaning schedule.
+        let dirty: Vec<(u64, u64)> = std::mem::take(&mut self.dirty_bands).into_iter().collect();
         let t_start = self.clock_ns;
         let band_count = dirty.len() as u64;
         let mut moved = 0u64;
@@ -588,9 +610,13 @@ impl Disk {
         }
         self.cache_used = 0;
         self.cleanings += 1;
-        self.obs.counter_add(ObsLayer::Device, "media_cache_cleanings", 1);
         self.obs
-            .latency(ObsLayer::Device, "cleaning_stall_ns", self.clock_ns - t_start);
+            .counter_add(ObsLayer::Device, "media_cache_cleanings", 1);
+        self.obs.latency(
+            ObsLayer::Device,
+            "cleaning_stall_ns",
+            self.clock_ns - t_start,
+        );
         self.obs_event(
             ObsLayer::Device,
             ObsEventKind::MediaCacheClean,
@@ -609,7 +635,8 @@ impl Disk {
         self.stats.record_write(kind, ext.len, ext.len, t);
         self.store.write(ext.offset, data);
         self.valid.insert(ext);
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
         Ok(())
     }
 
@@ -628,6 +655,12 @@ impl Disk {
         if let Some(hit) = self.valid.overlapping(dmg).first() {
             return Err(DiskError::GuardViolation { ext, damaged: *hit });
         }
+        // Shadow-check the accepted write against the independent audit
+        // model: if the overlap/guard checks above ever let an illegal
+        // write through, this fires in debug builds.
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_write(ext);
+        }
         let (t, new_head) = self.model.write_time(self.head, ext.offset, ext.len);
         if self.head != ext.offset {
             self.stats.seeks += 1;
@@ -637,7 +670,8 @@ impl Disk {
         self.stats.record_write(kind, ext.len, ext.len, t);
         self.store.write(ext.offset, data);
         self.valid.insert(ext);
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
         Ok(())
     }
 
@@ -668,7 +702,8 @@ impl Disk {
             off += n as u64;
             rest = &rest[n..];
         }
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
         Ok(())
     }
 
@@ -716,7 +751,8 @@ impl Disk {
             self.clock_ns += t;
             self.stats.record_write(kind, ext.len, rewrite, t);
             self.stats.record_device_read_overhead(kind, preserve);
-            self.obs.counter_add(ObsLayer::Device, "band_rmw_bytes", rewrite);
+            self.obs
+                .counter_add(ObsLayer::Device, "band_rmw_bytes", rewrite);
             self.obs_event(
                 ObsLayer::Device,
                 ObsEventKind::BandRmw,
@@ -763,7 +799,8 @@ impl Disk {
         self.obs.latency(ObsLayer::Device, "write_ns", t);
         self.store.write(ext.offset, data);
         self.valid.insert(ext);
-        self.trace.record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
+        self.trace
+            .record(self.trace_tag, self.trace_file, ext, TraceDir::Write, kind);
         self.note_write_complete();
         Ok(())
     }
@@ -772,8 +809,16 @@ impl Disk {
     /// fade). Free space becomes writable again under the raw layout.
     pub fn invalidate(&mut self, ext: Extent) {
         self.valid.remove(ext);
-        self.trace
-            .record(self.trace_tag, self.trace_file, ext, TraceDir::Free, IoKind::Raw);
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_invalidate(ext);
+        }
+        self.trace.record(
+            self.trace_tag,
+            self.trace_file,
+            ext,
+            TraceDir::Free,
+            IoKind::Raw,
+        );
     }
 
     /// Write pointer (relative) of the fixed band containing `offset`,
@@ -807,7 +852,8 @@ mod tests {
     fn hdd_write_read_roundtrip() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
         let payload = data(4096);
-        d.write(Extent::new(1000, 4096), &payload, IoKind::Raw).unwrap();
+        d.write(Extent::new(1000, 4096), &payload, IoKind::Raw)
+            .unwrap();
         let back = d.read(Extent::new(1000, 4096), IoKind::Raw).unwrap();
         assert_eq!(back, payload);
         assert!(d.clock_ns() > 0);
@@ -823,7 +869,8 @@ mod tests {
     #[test]
     fn read_after_invalidate_faults() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
-        d.write(Extent::new(0, 100), &data(100), IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 100), &data(100), IoKind::Raw)
+            .unwrap();
         d.invalidate(Extent::new(0, 100));
         assert!(d.read(Extent::new(0, 100), IoKind::Raw).is_err());
     }
@@ -844,7 +891,8 @@ mod tests {
             Layout::RawHmSmr { guard_bytes: MB },
             model(100 * MB),
         );
-        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw)
+            .unwrap();
         let err = d
             .write(Extent::new(500, 1000), &data(1000), IoKind::Raw)
             .unwrap_err();
@@ -880,9 +928,12 @@ mod tests {
             Layout::RawHmSmr { guard_bytes: MB },
             model(100 * MB),
         );
-        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw).unwrap();
-        d.write(Extent::new(1000, 1000), &data(1000), IoKind::Raw).unwrap();
-        d.write(Extent::new(2000, 1000), &data(1000), IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(1000, 1000), &data(1000), IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(2000, 1000), &data(1000), IoKind::Raw)
+            .unwrap();
         assert_eq!(d.valid_bytes(), 3000);
         assert_eq!(d.valid_extents().len(), 1);
     }
@@ -890,15 +941,23 @@ mod tests {
     #[test]
     fn raw_smr_insert_after_free_with_guard() {
         let g = MB;
-        let mut d = Disk::new(100 * MB, Layout::RawHmSmr { guard_bytes: g }, model(100 * MB));
+        let mut d = Disk::new(
+            100 * MB,
+            Layout::RawHmSmr { guard_bytes: g },
+            model(100 * MB),
+        );
         // Three regions back to back.
-        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Raw).unwrap();
-        d.write(Extent::new(4 * MB, 4 * MB), &data(4 * MB), IoKind::Raw).unwrap();
-        d.write(Extent::new(8 * MB, 4 * MB), &data(4 * MB), IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(4 * MB, 4 * MB), &data(4 * MB), IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(8 * MB, 4 * MB), &data(4 * MB), IoKind::Raw)
+            .unwrap();
         // Free the middle one; re-inserting needs req + guard <= 4MB.
         d.invalidate(Extent::new(4 * MB, 4 * MB));
         // 3 MB + 1 MB guard fits exactly.
-        d.write(Extent::new(4 * MB, 3 * MB), &data(3 * MB), IoKind::Raw).unwrap();
+        d.write(Extent::new(4 * MB, 3 * MB), &data(3 * MB), IoKind::Raw)
+            .unwrap();
         // A byte more would damage the third region.
         assert!(d
             .write(Extent::new(7 * MB, 1), &data(1), IoKind::Raw)
@@ -913,8 +972,10 @@ mod tests {
             Layout::FixedBand { band_size: bs },
             model(100 * MB),
         );
-        d.write(Extent::new(0, MB), &data(MB), IoKind::Flush).unwrap();
-        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, MB), &data(MB), IoKind::Flush)
+            .unwrap();
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush)
+            .unwrap();
         assert_eq!(d.stats().band_rmw_events, 0);
         let c = d.stats().kind(IoKind::Flush);
         assert_eq!(c.logical_written, 2 * MB);
@@ -930,7 +991,8 @@ mod tests {
             model(100 * MB),
         );
         // Fill 3 MB of band 0.
-        d.write(Extent::new(0, 3 * MB), &data(3 * MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, 3 * MB), &data(3 * MB), IoKind::Flush)
+            .unwrap();
         // Rewrite 1 MB in the middle: the device stages and rewrites the
         // whole 3 MB written prefix of the band.
         d.write(Extent::new(MB, MB), &data(MB), IoKind::CompactionWrite)
@@ -950,7 +1012,8 @@ mod tests {
             Layout::FixedBand { band_size: bs },
             model(100 * MB),
         );
-        d.write(Extent::new(0, 6 * MB), &data(6 * MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, 6 * MB), &data(6 * MB), IoKind::Flush)
+            .unwrap();
         // Hole-reuse write at offset 1 MB: one RMW...
         d.write(Extent::new(MB, MB), &data(MB), IoKind::CompactionWrite)
             .unwrap();
@@ -970,7 +1033,8 @@ mod tests {
             model(100 * MB),
         );
         let payload = data(3 * MB);
-        d.write(Extent::new(MB, 3 * MB), &payload, IoKind::Flush).unwrap();
+        d.write(Extent::new(MB, 3 * MB), &payload, IoKind::Flush)
+            .unwrap();
         // Band 0: write at offset 1 MB on an empty band is safe (nothing
         // shingled after it is valid); band 1: continuation.
         assert_eq!(d.stats().band_rmw_events, 0);
@@ -1000,13 +1064,18 @@ mod tests {
         // Sequential: 64 x 1 MB back to back.
         let mut seq = mk();
         for i in 0..64u64 {
-            seq.write(Extent::new(i * MB, MB), &data(MB), IoKind::Raw).unwrap();
+            seq.write(Extent::new(i * MB, MB), &data(MB), IoKind::Raw)
+                .unwrap();
         }
         // Scattered: same volume, spread over the disk.
         let mut scat = mk();
         for i in 0..64u64 {
-            scat.write(Extent::new((i * 13 % 64) * 15 * MB, MB), &data(MB), IoKind::Raw)
-                .unwrap();
+            scat.write(
+                Extent::new((i * 13 % 64) * 15 * MB, MB),
+                &data(MB),
+                IoKind::Raw,
+            )
+            .unwrap();
         }
         assert!(scat.clock_ns() > seq.clock_ns());
     }
@@ -1015,7 +1084,8 @@ mod tests {
     fn torn_write_persists_prefix_and_stays_down() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
         d.faults_mut().tear_write_after(1);
-        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 1000), &data(1000), IoKind::Raw)
+            .unwrap();
         let err = d
             .write(Extent::new(1000, 1000), &vec![0xAB; 1000], IoKind::Raw)
             .unwrap_err();
@@ -1034,19 +1104,22 @@ mod tests {
         assert!(back[persisted..].iter().all(|&b| b == 0));
         // Power stays lost until disarmed.
         assert_eq!(
-            d.write(Extent::new(2000, 10), &data(10), IoKind::Raw).unwrap_err(),
+            d.write(Extent::new(2000, 10), &data(10), IoKind::Raw)
+                .unwrap_err(),
             DiskError::Injected
         );
         assert!(d.stats().faults.injected_write_failures >= 1);
         d.faults_mut().disarm_torn_writes();
-        d.write(Extent::new(2000, 10), &data(10), IoKind::Raw).unwrap();
+        d.write(Extent::new(2000, 10), &data(10), IoKind::Raw)
+            .unwrap();
     }
 
     #[test]
     fn transient_read_fails_once_then_succeeds() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
         let payload = data(4096);
-        d.write(Extent::new(0, 4096), &payload, IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 4096), &payload, IoKind::Raw)
+            .unwrap();
         d.faults_mut().fail_reads_transiently(1);
         let err = d.read(Extent::new(0, 4096), IoKind::Raw).unwrap_err();
         assert!(err.is_transient());
@@ -1058,7 +1131,8 @@ mod tests {
     fn read_corruption_flips_bits_in_registered_extent() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
         let payload = data(8192);
-        d.write(Extent::new(0, 8192), &payload, IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 8192), &payload, IoKind::Raw)
+            .unwrap();
         d.faults_mut().corrupt_extent(Extent::new(0, 8192));
         let back = d.read(Extent::new(0, 8192), IoKind::Raw).unwrap();
         assert_ne!(back, payload);
@@ -1067,22 +1141,32 @@ mod tests {
         let again = d.read(Extent::new(0, 8192), IoKind::Raw).unwrap();
         assert_eq!(back, again);
         // Unregistered regions are untouched.
-        d.write(Extent::new(MB, 100), &data(100), IoKind::Raw).unwrap();
-        assert_eq!(d.read(Extent::new(MB, 100), IoKind::Raw).unwrap(), data(100));
+        d.write(Extent::new(MB, 100), &data(100), IoKind::Raw)
+            .unwrap();
+        assert_eq!(
+            d.read(Extent::new(MB, 100), IoKind::Raw).unwrap(),
+            data(100)
+        );
     }
 
     #[test]
     fn snapshot_restore_power_cuts_the_disk() {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
-        d.write(Extent::new(0, 100), &[1u8; 100], IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 100), &[1u8; 100], IoKind::Raw)
+            .unwrap();
         let snap = d.snapshot();
         assert_eq!(snap.write_index(), 1);
-        d.write(Extent::new(0, 100), &[2u8; 100], IoKind::Raw).unwrap();
-        d.write(Extent::new(200, 100), &[3u8; 100], IoKind::Raw).unwrap();
+        d.write(Extent::new(0, 100), &[2u8; 100], IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(200, 100), &[3u8; 100], IoKind::Raw)
+            .unwrap();
         let clock_before = d.clock_ns();
         d.restore(&snap);
         // Contents and validity roll back; time does not.
-        assert_eq!(d.read(Extent::new(0, 100), IoKind::Raw).unwrap(), vec![1u8; 100]);
+        assert_eq!(
+            d.read(Extent::new(0, 100), IoKind::Raw).unwrap(),
+            vec![1u8; 100]
+        );
         assert!(d.read(Extent::new(200, 100), IoKind::Raw).is_err());
         assert!(d.clock_ns() >= clock_before);
         assert_eq!(d.writes_issued(), 1);
@@ -1093,7 +1177,8 @@ mod tests {
         let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
         d.faults_mut().snapshot_every(2);
         for i in 0..7u64 {
-            d.write(Extent::new(i * 1000, 100), &data(100), IoKind::Raw).unwrap();
+            d.write(Extent::new(i * 1000, 100), &data(100), IoKind::Raw)
+                .unwrap();
         }
         let snaps = d.take_crash_snapshots();
         assert_eq!(
@@ -1115,13 +1200,16 @@ mod tests {
             Layout::FixedBand { band_size: bs },
             model(100 * MB),
         );
-        d.write(Extent::new(0, MB), &data(MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, MB), &data(MB), IoKind::Flush)
+            .unwrap();
         let snap = d.snapshot();
-        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush)
+            .unwrap();
         d.restore(&snap);
         assert_eq!(d.band_write_pointer(0), Some(MB));
         // Appending at the restored write pointer is penalty-free.
-        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::Flush)
+            .unwrap();
         assert_eq!(d.stats().band_rmw_events, 0);
     }
 
@@ -1131,7 +1219,8 @@ mod tests {
         d.trace_mut().set_enabled(true);
         d.set_trace_tag(7);
         d.set_trace_file(42);
-        d.write(Extent::new(0, 10), &data(10), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, 10), &data(10), IoKind::Flush)
+            .unwrap();
         let ev = d.trace().events()[0];
         assert_eq!(ev.tag, 7);
         assert_eq!(ev.file, 42);
@@ -1164,7 +1253,8 @@ mod ha_smr_tests {
     fn sequential_writes_bypass_the_cache() {
         let mut d = ha_disk(8 * MB);
         for i in 0..8u64 {
-            d.write(Extent::new(i * MB, MB), &data(MB), IoKind::Flush).unwrap();
+            d.write(Extent::new(i * MB, MB), &data(MB), IoKind::Flush)
+                .unwrap();
         }
         assert_eq!(d.media_cache_used(), 0);
         assert_eq!(d.cleaning_passes(), 0);
@@ -1176,18 +1266,23 @@ mod ha_smr_tests {
     fn random_writes_stage_then_clean() {
         let mut d = ha_disk(2 * MB);
         // Fill two bands so in-place rewrites are out of order.
-        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Flush).unwrap();
-        d.write(Extent::new(4 * MB, 4 * MB), &data(4 * MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Flush)
+            .unwrap();
+        d.write(Extent::new(4 * MB, 4 * MB), &data(4 * MB), IoKind::Flush)
+            .unwrap();
         // Rewrites go to the cache, fast.
         let t0 = d.clock_ns();
-        d.write(Extent::new(MB, MB), &data(MB), IoKind::CompactionWrite).unwrap();
+        d.write(Extent::new(MB, MB), &data(MB), IoKind::CompactionWrite)
+            .unwrap();
         let fast = d.clock_ns() - t0;
         assert_eq!(d.media_cache_used(), MB);
         assert_eq!(d.cleaning_passes(), 0);
         // Third staged MiB exceeds the 2 MiB cache: cleaning stalls it.
-        d.write(Extent::new(5 * MB, MB), &data(MB), IoKind::CompactionWrite).unwrap();
+        d.write(Extent::new(5 * MB, MB), &data(MB), IoKind::CompactionWrite)
+            .unwrap();
         let t1 = d.clock_ns();
-        d.write(Extent::new(2 * MB, MB), &data(MB), IoKind::CompactionWrite).unwrap();
+        d.write(Extent::new(2 * MB, MB), &data(MB), IoKind::CompactionWrite)
+            .unwrap();
         let stalled = d.clock_ns() - t1;
         assert_eq!(d.cleaning_passes(), 1);
         assert!(
@@ -1195,13 +1290,17 @@ mod ha_smr_tests {
             "cleaning must stall the foreground: {fast} vs {stalled}"
         );
         // Contents remain correct throughout.
-        assert_eq!(d.read(Extent::new(MB, 4), IoKind::Raw).unwrap(), data(MB)[..4]);
+        assert_eq!(
+            d.read(Extent::new(MB, 4), IoKind::Raw).unwrap(),
+            data(MB)[..4]
+        );
     }
 
     #[test]
     fn cleaning_amplifies_writes() {
         let mut d = ha_disk(MB);
-        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Flush).unwrap();
+        d.write(Extent::new(0, 4 * MB), &data(4 * MB), IoKind::Flush)
+            .unwrap();
         // Stage rewrites until several cleanings happen.
         for i in 0..8u64 {
             d.write(

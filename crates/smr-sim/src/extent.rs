@@ -37,7 +37,10 @@ impl Extent {
 
     /// Whether the two extents share at least one byte.
     pub fn overlaps(&self, other: &Extent) -> bool {
-        !self.is_empty() && !other.is_empty() && self.offset < other.end() && other.offset < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.offset < other.end()
+            && other.offset < self.end()
     }
 
     /// Whether `other` is entirely contained in `self`.
@@ -208,7 +211,9 @@ impl ExtentSet {
 
     /// Iterates over the stored (coalesced) extents in address order.
     pub fn iter(&self) -> impl Iterator<Item = Extent> + '_ {
-        self.map.iter().map(|(&start, &len)| Extent::new(start, len))
+        self.map
+            .iter()
+            .map(|(&start, &len)| Extent::new(start, len))
     }
 
     /// The extent containing `pos`, if any.
@@ -220,11 +225,7 @@ impl ExtentSet {
 
     /// Largest end offset of any stored extent (the "high water mark"), or 0.
     pub fn max_end(&self) -> u64 {
-        self.map
-            .iter()
-            .next_back()
-            .map(|(&s, &l)| s + l)
-            .unwrap_or(0)
+        self.map.iter().next_back().map_or(0, |(&s, &l)| s + l)
     }
 }
 

@@ -22,7 +22,7 @@
 //! performs the injection and counts it in [`crate::stats::FaultStats`].
 
 use crate::extent::Extent;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Deterministic xorshift64 used to derive injection positions from the
 /// plan's seed. Self-contained so `smr-sim` stays dependency-free.
@@ -60,7 +60,7 @@ pub struct FaultPlan {
     /// Reads remaining to fail transiently (first attempt per offset).
     transient_budget: u64,
     /// Offsets that already failed once (their retry succeeds).
-    transient_seen: HashSet<u64>,
+    transient_seen: BTreeSet<u64>,
     /// Take a disk snapshot every `k` completed writes.
     snapshot_every: Option<u64>,
 }

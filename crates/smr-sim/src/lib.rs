@@ -29,16 +29,28 @@
 //! assert!(disk.clock_ns() > 0);
 //! ```
 
+/// Debug-build shingle auditor shadow-checking raw HM-SMR writes.
+pub mod audit;
+/// The simulated disk: layouts, timing, write-constraint checks.
 pub mod disk;
+/// Disk fault and constraint-violation errors.
 pub mod error;
+/// Byte extents and the interval set tracking valid data.
 pub mod extent;
+/// Seeded fault-injection plans (torn writes, read errors).
 pub mod fault;
+/// Unified observability: counters, gauges, latency recorders.
 pub mod obs;
+/// I/O statistics and amplification accounting.
 pub mod stats;
+/// Copy-on-write sparse chunk store backing disk contents.
 pub mod store;
+/// Mechanical time model (seek, rotation, transfer).
 pub mod timemodel;
+/// Optional per-I/O trace recording.
 pub mod trace;
 
+pub use audit::ShingleAuditor;
 pub use disk::{Disk, DiskSnapshot, Layout};
 pub use error::{DiskError, DiskResult};
 pub use extent::{Extent, ExtentSet};

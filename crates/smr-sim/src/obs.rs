@@ -352,10 +352,7 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Adds `delta` to a counter, creating it at zero first if absent.
     pub fn counter_add(&mut self, layer: ObsLayer, name: &str, delta: u64) {
-        *self
-            .counters
-            .entry((layer, name.to_string()))
-            .or_insert(0) += delta;
+        *self.counters.entry((layer, name.to_string())).or_insert(0) += delta;
     }
 
     /// Current counter value (0 if never touched).

@@ -184,7 +184,8 @@ impl IoStats {
     /// Bytes written by the LSM-tree itself (flush + compaction outputs):
     /// the numerator of WA.
     pub fn lsm_written(&self) -> u64 {
-        self.kind(IoKind::Flush).logical_written + self.kind(IoKind::CompactionWrite).logical_written
+        self.kind(IoKind::Flush).logical_written
+            + self.kind(IoKind::CompactionWrite).logical_written
     }
 
     /// Device bytes attributable to flush + compaction writes (including

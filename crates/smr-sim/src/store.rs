@@ -16,9 +16,9 @@ const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
 /// copy-on-write snapshot (the crash-point fault-injection harness takes
 /// one at every Kth write): the clone shares every chunk until either
 /// side writes, at which point only the touched chunk is copied.
-#[derive(Default, Clone)]
+#[derive(Debug, Default, Clone)]
 pub struct SparseStore {
-    chunks: std::collections::HashMap<u64, std::sync::Arc<[u8; CHUNK_SIZE]>>,
+    chunks: std::collections::BTreeMap<u64, std::sync::Arc<[u8; CHUNK_SIZE]>>,
 }
 
 impl SparseStore {

@@ -34,7 +34,7 @@ pub struct TraceEvent {
 
 /// An append-only recorder of physical accesses. Disabled by default so
 /// the hot path pays only a branch.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct TraceRecorder {
     enabled: bool,
     events: Vec<TraceEvent>,
@@ -59,7 +59,13 @@ impl TraceRecorder {
     /// Records one event if enabled.
     pub fn record(&mut self, tag: u64, file: u64, ext: Extent, dir: TraceDir, kind: IoKind) {
         if self.enabled {
-            self.events.push(TraceEvent { tag, file, ext, dir, kind });
+            self.events.push(TraceEvent {
+                tag,
+                file,
+                ext,
+                dir,
+                kind,
+            });
         }
     }
 
@@ -100,7 +106,13 @@ mod tests {
         t.set_enabled(true);
         t.record(1, 10, Extent::new(0, 10), TraceDir::Write, IoKind::Flush);
         t.record(1, 11, Extent::new(10, 10), TraceDir::Read, IoKind::Get);
-        t.record(2, 12, Extent::new(20, 10), TraceDir::Write, IoKind::CompactionWrite);
+        t.record(
+            2,
+            12,
+            Extent::new(20, 10),
+            TraceDir::Write,
+            IoKind::CompactionWrite,
+        );
         assert_eq!(t.events().len(), 3);
         let w1 = t.writes_for_tag(1);
         assert_eq!(w1.len(), 1);

@@ -25,7 +25,8 @@ fn ha_smr_reads_cover_staged_and_direct_data() {
     // Out-of-order rewrite goes through the cache; reads must still see
     // the newest bytes.
     let b = vec![2u8; MB as usize];
-    d.write(Extent::new(0, MB), &b, IoKind::CompactionWrite).unwrap();
+    d.write(Extent::new(0, MB), &b, IoKind::CompactionWrite)
+        .unwrap();
     let back = d.read(Extent::new(0, 2 * MB), IoKind::Get).unwrap();
     assert!(back[..MB as usize].iter().all(|&x| x == 2));
     assert!(back[MB as usize..].iter().all(|&x| x == 1));
@@ -43,8 +44,12 @@ fn ha_smr_spanning_write_across_bands() {
         model(cap),
     );
     let payload: Vec<u8> = (0..5 * MB).map(|i| (i % 251) as u8).collect();
-    d.write(Extent::new(MB, 5 * MB), &payload, IoKind::Flush).unwrap();
-    assert_eq!(d.read(Extent::new(MB, 5 * MB), IoKind::Get).unwrap(), payload);
+    d.write(Extent::new(MB, 5 * MB), &payload, IoKind::Flush)
+        .unwrap();
+    assert_eq!(
+        d.read(Extent::new(MB, 5 * MB), IoKind::Get).unwrap(),
+        payload
+    );
     assert_eq!(d.bands_touched(Extent::new(MB, 5 * MB)), 3);
 }
 
@@ -53,7 +58,8 @@ fn trace_records_frees() {
     let cap = 64 * MB;
     let mut d = Disk::new(cap, Layout::Hdd, TimeModel::hdd_st1000dm003(cap));
     d.trace_mut().set_enabled(true);
-    d.write(Extent::new(0, MB), &vec![0u8; MB as usize], IoKind::Flush).unwrap();
+    d.write(Extent::new(0, MB), &vec![0u8; MB as usize], IoKind::Flush)
+        .unwrap();
     d.invalidate(Extent::new(0, MB));
     let events = d.trace().events();
     assert_eq!(events.len(), 2);
@@ -75,7 +81,12 @@ fn valid_tracking_reports_high_water() {
     let cap = 64 * MB;
     let mut d = Disk::new(cap, Layout::RawHmSmr { guard_bytes: MB }, model(cap));
     assert_eq!(d.valid_high_water(), 0);
-    d.write(Extent::new(10 * MB, MB), &vec![1u8; MB as usize], IoKind::Raw).unwrap();
+    d.write(
+        Extent::new(10 * MB, MB),
+        &vec![1u8; MB as usize],
+        IoKind::Raw,
+    )
+    .unwrap();
     assert_eq!(d.valid_high_water(), 11 * MB);
     assert_eq!(d.valid_bytes(), MB);
     assert_eq!(d.valid_extents().len(), 1);
@@ -86,10 +97,19 @@ fn exact_capacity_boundary_write() {
     let cap = 16 * MB;
     let mut d = Disk::new(cap, Layout::Hdd, TimeModel::hdd_st1000dm003(cap));
     // Write ending exactly at capacity is fine.
-    d.write(Extent::new(cap - MB, MB), &vec![1u8; MB as usize], IoKind::Raw).unwrap();
+    d.write(
+        Extent::new(cap - MB, MB),
+        &vec![1u8; MB as usize],
+        IoKind::Raw,
+    )
+    .unwrap();
     // One byte more faults.
     let err = d
-        .write(Extent::new(cap - MB + 1, MB), &vec![1u8; MB as usize], IoKind::Raw)
+        .write(
+            Extent::new(cap - MB + 1, MB),
+            &vec![1u8; MB as usize],
+            IoKind::Raw,
+        )
         .unwrap_err();
     assert!(matches!(err, DiskError::OutOfRange { .. }));
 }
@@ -99,8 +119,19 @@ fn raw_smr_guard_at_disk_end_is_clipped() {
     // A write whose damage window would extend past the end of the disk
     // must not fault on the clipping itself.
     let cap = 16 * MB;
-    let mut d = Disk::new(cap, Layout::RawHmSmr { guard_bytes: 4 * MB }, model(cap));
-    d.write(Extent::new(cap - MB, MB), &vec![1u8; MB as usize], IoKind::Raw).unwrap();
+    let mut d = Disk::new(
+        cap,
+        Layout::RawHmSmr {
+            guard_bytes: 4 * MB,
+        },
+        model(cap),
+    );
+    d.write(
+        Extent::new(cap - MB, MB),
+        &vec![1u8; MB as usize],
+        IoKind::Raw,
+    )
+    .unwrap();
 }
 
 #[test]
@@ -108,8 +139,12 @@ fn fixed_band_read_spanning_bands() {
     let cap = 64 * MB;
     let mut d = Disk::new(cap, Layout::FixedBand { band_size: 2 * MB }, model(cap));
     let payload: Vec<u8> = (0..6 * MB).map(|i| (i % 251) as u8).collect();
-    d.write(Extent::new(0, 6 * MB), &payload, IoKind::Flush).unwrap();
-    assert_eq!(d.read(Extent::new(0, 6 * MB), IoKind::Scan).unwrap(), payload);
+    d.write(Extent::new(0, 6 * MB), &payload, IoKind::Flush)
+        .unwrap();
+    assert_eq!(
+        d.read(Extent::new(0, 6 * MB), IoKind::Scan).unwrap(),
+        payload
+    );
 }
 
 #[test]
@@ -118,8 +153,12 @@ fn interleaved_streams_within_segment_budget_stay_sequential() {
     // transfer speed thanks to the segmented read-ahead.
     let cap = 1024 * MB;
     let mut d = Disk::new(cap, Layout::Hdd, TimeModel::hdd_st1000dm003(cap));
-    d.write_conventional(Extent::new(0, 32 * MB), &vec![1u8; (32 * MB) as usize], IoKind::Raw)
-        .unwrap();
+    d.write_conventional(
+        Extent::new(0, 32 * MB),
+        &vec![1u8; (32 * MB) as usize],
+        IoKind::Raw,
+    )
+    .unwrap();
     d.write_conventional(
         Extent::new(512 * MB, 32 * MB),
         &vec![2u8; (32 * MB) as usize],
@@ -132,7 +171,8 @@ fn interleaved_streams_within_segment_budget_stay_sequential() {
     let seeks_before = d.stats().seeks;
     for i in 1..1000u64 {
         d.read(Extent::new(i * 4096, 4096), IoKind::Scan).unwrap();
-        d.read(Extent::new(512 * MB + i * 4096, 4096), IoKind::Scan).unwrap();
+        d.read(Extent::new(512 * MB + i * 4096, 4096), IoKind::Scan)
+            .unwrap();
     }
     assert_eq!(d.stats().seeks, seeks_before, "no further seeks expected");
 }

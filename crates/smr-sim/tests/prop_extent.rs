@@ -176,7 +176,8 @@ fn fixed_band_device_at_least_logical() {
             let off = blk * BLK;
             let len = (len_blks * BLK).min(cap - off);
             let data = vec![0xABu8; len as usize];
-            disk.write(Extent::new(off, len), &data, IoKind::Raw).unwrap();
+            disk.write(Extent::new(off, len), &data, IoKind::Raw)
+                .unwrap();
         }
         let c = disk.stats().kind(IoKind::Raw);
         assert!(c.device_written >= c.logical_written, "writes {writes:?}");

@@ -39,7 +39,9 @@ impl ArrivalProcess {
     /// rate; zero (the default) selects closed-loop with no think time.
     pub fn from_spec(spec: &WorkloadSpec) -> Self {
         if spec.ops_per_sec > 0.0 {
-            ArrivalProcess::OpenLoopPoisson { ops_per_sec: spec.ops_per_sec }
+            ArrivalProcess::OpenLoopPoisson {
+                ops_per_sec: spec.ops_per_sec,
+            }
         } else {
             ArrivalProcess::ClosedLoop { think_ns: 0 }
         }
@@ -56,7 +58,10 @@ pub struct InterArrival {
 impl InterArrival {
     /// A gap generator for `process` with its own RNG stream.
     pub fn new(process: ArrivalProcess, seed: u64) -> Self {
-        InterArrival { process, rng: XorShift64::new(seed) }
+        InterArrival {
+            process,
+            rng: XorShift64::new(seed),
+        }
     }
 
     /// Next gap, ns. For Poisson arrivals this samples the exponential
@@ -83,7 +88,9 @@ mod tests {
     #[test]
     fn poisson_gaps_match_target_rate() {
         let mut ia = InterArrival::new(
-            ArrivalProcess::OpenLoopPoisson { ops_per_sec: 10_000.0 },
+            ArrivalProcess::OpenLoopPoisson {
+                ops_per_sec: 10_000.0,
+            },
             42,
         );
         let n = 20_000u64;
@@ -130,7 +137,9 @@ mod tests {
         spec.ops_per_sec = 2_000.0;
         assert_eq!(
             ArrivalProcess::from_spec(&spec),
-            ArrivalProcess::OpenLoopPoisson { ops_per_sec: 2_000.0 }
+            ArrivalProcess::OpenLoopPoisson {
+                ops_per_sec: 2_000.0
+            }
         );
     }
 }

@@ -6,10 +6,15 @@
 //! reproduces both against any [`sealdb::Store`], with throughput
 //! computed from the *simulated* disk clock so results are deterministic.
 
+/// Open-loop arrival processes for latency-under-load sweeps.
 pub mod arrivals;
+/// Key-choice distributions: uniform, zipfian, latest.
 pub mod distributions;
+/// Deterministic operation-stream generation.
 pub mod generator;
+/// LevelDB-style micro-benchmark workloads.
 pub mod micro;
+/// YCSB core workloads A-F.
 pub mod ycsb;
 
 pub use arrivals::{ArrivalProcess, InterArrival};

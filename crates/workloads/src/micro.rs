@@ -71,7 +71,12 @@ pub fn fill_seq(store: &mut Store, gen: &RecordGenerator, n: u64) -> Result<Micr
 /// Loads `n` records in uniformly random order (the paper's random
 /// load). Every index in `[0, n)` is written exactly once, in a
 /// pseudo-random permutation, matching `db_bench`'s fillrandom.
-pub fn fill_random(store: &mut Store, gen: &RecordGenerator, n: u64, seed: u64) -> Result<MicroResult> {
+pub fn fill_random(
+    store: &mut Store,
+    gen: &RecordGenerator,
+    n: u64,
+    seed: u64,
+) -> Result<MicroResult> {
     timed(store, n, |s| {
         let mut bytes = 0;
         for i in 0..n {

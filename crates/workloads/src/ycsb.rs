@@ -63,7 +63,13 @@ impl WorkloadSpec {
     pub fn a() -> Self {
         WorkloadSpec {
             name: "A",
-            mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -74,7 +80,13 @@ impl WorkloadSpec {
     pub fn b() -> Self {
         WorkloadSpec {
             name: "B",
-            mix: Mix { read: 0.95, update: 0.05, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -85,7 +97,13 @@ impl WorkloadSpec {
     pub fn c() -> Self {
         WorkloadSpec {
             name: "C",
-            mix: Mix { read: 1.0, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -96,7 +114,13 @@ impl WorkloadSpec {
     pub fn d() -> Self {
         WorkloadSpec {
             name: "D",
-            mix: Mix { read: 0.95, update: 0.0, insert: 0.05, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Latest,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -107,7 +131,13 @@ impl WorkloadSpec {
     pub fn e() -> Self {
         WorkloadSpec {
             name: "E",
-            mix: Mix { read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, rmw: 0.0 },
+            mix: Mix {
+                read: 0.0,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.95,
+                rmw: 0.0,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -118,7 +148,13 @@ impl WorkloadSpec {
     pub fn f() -> Self {
         WorkloadSpec {
             name: "F",
-            mix: Mix { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.5 },
+            mix: Mix {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.5,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -136,7 +172,13 @@ impl WorkloadSpec {
     pub fn serve_mix() -> Self {
         WorkloadSpec {
             name: "S",
-            mix: Mix { read: 0.5, update: 0.0, insert: 0.5, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.5,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Zipfian,
             max_scan_len: 100,
             ops_per_sec: 0.0,
@@ -307,7 +349,13 @@ mod dist_plumbing_tests {
         fill_random(&mut store, &gen, n, 3).unwrap();
         let spec = WorkloadSpec {
             name: "uniform-a",
-            mix: Mix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 },
+            mix: Mix {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+            },
             dist: Dist::Uniform,
             max_scan_len: 10,
             ops_per_sec: 0.0,

@@ -96,7 +96,14 @@ fn dynamic_band_figure7() {
             .collect();
         println!("  {step}");
         println!("    bands: {}", bands.join(" "));
-        println!("    free : {}", if free.is_empty() { "-".into() } else { free.join(" ") });
+        println!(
+            "    free : {}",
+            if free.is_empty() {
+                "-".into()
+            } else {
+                free.join(" ")
+            }
+        );
     };
     // (1) Three sets appended.
     let set1 = alloc.allocate(24 * MB).unwrap();
@@ -106,13 +113,22 @@ fn dynamic_band_figure7() {
     // (2) set 1 compacts away; its replacement is appended.
     alloc.free(set1);
     let _set1p = alloc.allocate(28 * MB).unwrap();
-    print_state(&alloc, "(2) set 1 deleted, set 1' (28 MiB) appended (24 MiB hole < 28 + guard)");
+    print_state(
+        &alloc,
+        "(2) set 1 deleted, set 1' (28 MiB) appended (24 MiB hole < 28 + guard)",
+    );
     // (3) set 4 (12 MiB) inserts into the hole: Eq. 1 holds (12+4 <= 24).
     let _set4 = alloc.allocate(12 * MB).unwrap();
-    print_state(&alloc, "(3) set 4 (12 MiB) inserted: split into data | guard | remainder");
+    print_state(
+        &alloc,
+        "(3) set 4 (12 MiB) inserted: split into data | guard | remainder",
+    );
     // (4) set 5 (4 MiB) exactly fits the remainder.
     let _set5 = alloc.allocate(4 * MB).unwrap();
-    print_state(&alloc, "(4) set 5 (4 MiB) fits the 8 MiB remainder exactly (4 data + 4 guard)");
+    print_state(
+        &alloc,
+        "(4) set 5 (4 MiB) fits the 8 MiB remainder exactly (4 data + 4 guard)",
+    );
     // (5) deleting sets 2 and 3 coalesces their space.
     alloc.free(set3);
     alloc.free(set2);

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Full CI gate: release build, complete test suite, lint-clean clippy.
+# Full CI gate: formatting, release build, complete test suite,
+# lint-clean clippy, and the workspace's own static-analysis pass.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# seal-lint: workspace determinism/recovery-safety invariants (DESIGN.md §11).
+# Any finding is a hard failure.
+cargo run -q -p seal-lint --release
 
 # Observability artifact: produce the metrics trajectory at smoke scale
 # and schema-check it (fails on missing keys or any NaN/Inf leak).

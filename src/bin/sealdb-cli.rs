@@ -80,7 +80,11 @@ fn print_stats(store: &Store) {
         .filter(|(_, (n, _))| *n > 0)
         .map(|(l, (n, b))| format!("L{l}:{n} files/{:.1} MiB", *b as f64 / (1u64 << 20) as f64))
         .collect();
-    println!("tree           : mem {:.2} MiB | {}", mem as f64 / (1u64 << 20) as f64, tree.join("  "));
+    println!(
+        "tree           : mem {:.2} MiB | {}",
+        mem as f64 / (1u64 << 20) as f64,
+        tree.join("  ")
+    );
 }
 
 fn print_layout(store: &Store) {
@@ -231,7 +235,12 @@ fn main() {
                 let res = workloads::fill_random(&mut store, &gen, n, 11);
                 match res {
                     Ok(r) => {
-                        println!("{} records in {:.2} simulated s ({:.0} op/s)", n, r.sim_ns as f64 / 1e9, r.ops_per_sec());
+                        println!(
+                            "{} records in {:.2} simulated s ({:.0} op/s)",
+                            n,
+                            r.sim_ns as f64 / 1e9,
+                            r.ops_per_sec()
+                        );
                         Ok(())
                     }
                     Err(e) => Err(e),

@@ -66,10 +66,7 @@ fn crash_mid_load_recovers_consistently() {
         }
         // And the store accepts writes again.
         store.put(b"post-crash", b"alive").unwrap();
-        assert_eq!(
-            store.get(b"post-crash").unwrap(),
-            Some(b"alive".to_vec())
-        );
+        assert_eq!(store.get(b"post-crash").unwrap(), Some(b"alive".to_vec()));
     }
 }
 

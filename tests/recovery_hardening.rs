@@ -154,7 +154,14 @@ fn sstable_checksum_failure_surfaces_corruption() {
             store.db.recovery_report().files_quarantined >= 1,
             "{kind:?}: corrupt file must be quarantined on reopen"
         );
-        store.db.ctx().lock().fs.disk_mut().faults_mut().clear_corruption();
+        store
+            .db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .faults_mut()
+            .clear_corruption();
         drop_caches(&store);
         for i in (0..3000u64).step_by(7) {
             if let Some(v) = store.get(&gen.key(i)).unwrap() {

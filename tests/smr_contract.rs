@@ -40,7 +40,11 @@ fn sealdb_never_violates_shingle_contract_under_churn() {
     // AWA is identically 1 on the raw layout: zero auxiliary write
     // amplification, the paper's Fig. 12(a) claim for SEALDB.
     let snap = store.snapshot();
-    assert!((snap.io.awa() - 1.0).abs() < 1e-9, "AWA = {}", snap.io.awa());
+    assert!(
+        (snap.io.awa() - 1.0).abs() < 1e-9,
+        "AWA = {}",
+        snap.io.awa()
+    );
 }
 
 #[test]
@@ -95,7 +99,10 @@ fn crash_recovery_preserves_acknowledged_state() {
     }
     store.flush().unwrap();
     let mut store = store.reopen().unwrap();
-    assert_eq!(store.get(&gen.key(n + 499)).unwrap(), Some(gen.value(n + 499)));
+    assert_eq!(
+        store.get(&gen.key(n + 499)).unwrap(),
+        Some(gen.value(n + 499))
+    );
 }
 
 #[test]
@@ -145,7 +152,11 @@ fn gc_after_churn_keeps_store_correct() {
     );
     // Full correctness sweep after relocation.
     for i in (0..n).step_by(61) {
-        let expect = if i % 3 == 0 { gen.value(i + 1) } else { gen.value(i) };
+        let expect = if i % 3 == 0 {
+            gen.value(i + 1)
+        } else {
+            gen.value(i)
+        };
         assert_eq!(store.get(&gen.key(i)).unwrap(), Some(expect), "key {i}");
     }
     // Reads and scans still work through relocated extents.

@@ -49,7 +49,11 @@ fn all_stores_agree_with_model() {
         // Tiny tables force flushes and compactions inside the test.
         let mut stores: Vec<_> = StoreKind::ALL
             .iter()
-            .map(|&kind| StoreConfig::new(kind, 8 << 10, 256 << 20).build().expect("build"))
+            .map(|&kind| {
+                StoreConfig::new(kind, 8 << 10, 256 << 20)
+                    .build()
+                    .expect("build")
+            })
             .collect();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for op in &ops {

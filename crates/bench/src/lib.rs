@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod metrics_run;
 pub mod scale;
+pub mod scrub_run;
 pub mod serve_run;
 pub mod timing;
 

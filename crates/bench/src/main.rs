@@ -20,6 +20,8 @@
 //!   --metrics-check F  validate a previously written artifact
 //!   --serve-out F    run the latency-under-load sweep, write artifact F
 //!   --serve-check F  validate a previously written serve artifact
+//!   --scrub-out F    run the durability-under-latent-errors sweep, write artifact F
+//!   --scrub-check F  validate a previously written scrub artifact
 //! ```
 //!
 //! `serve` as an experiment name runs the sweep and prints the latency
@@ -36,6 +38,8 @@ struct MetricsArgs {
     check: Option<String>,
     serve_out: Option<String>,
     serve_check: Option<String>,
+    scrub_out: Option<String>,
+    scrub_check: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
@@ -83,6 +87,14 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--serve-check" => {
                 i += 1;
                 metrics.serve_check = args.get(i).cloned();
+            }
+            "--scrub-out" => {
+                i += 1;
+                metrics.scrub_out = args.get(i).cloned();
+            }
+            "--scrub-check" => {
+                i += 1;
+                metrics.scrub_check = args.get(i).cloned();
             }
             other => experiments.push(other.to_string()),
         }
@@ -195,6 +207,38 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.scrub_out {
+        let started = std::time::Instant::now();
+        match bench::scrub_run::scrub_sweep(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write scrub artifact");
+                println!(
+                    "wrote scrub artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("scrub sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.scrub_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read scrub artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::scrub_run::check_scrub_json(&content);
+        if problems.is_empty() {
+            println!("scrub artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("scrub artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -203,6 +247,8 @@ fn main() {
         || metrics.check.is_some()
         || metrics.serve_out.is_some()
         || metrics.serve_check.is_some()
+        || metrics.scrub_out.is_some()
+        || metrics.scrub_check.is_some()
     {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
@@ -213,6 +259,7 @@ fn main() {
         eprintln!("usage: seal-bench <fig02|fig03|table2|fig08..fig14|serve|all> [options]");
         eprintln!("       seal-bench --metrics-out FILE | --metrics-check FILE [options]");
         eprintln!("       seal-bench --serve-out FILE | --serve-check FILE [options]");
+        eprintln!("       seal-bench --scrub-out FILE | --scrub-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

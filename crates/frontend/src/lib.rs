@@ -24,7 +24,7 @@
 //!   standing in for the background compaction thread.
 
 use lsm_core::util::rng::XorShift64;
-use lsm_core::{Result, StallStats, WriteBatch};
+use lsm_core::{Result, ScrubConfig, StallStats, WriteBatch};
 use sealdb::Store;
 use smr_sim::ObsLayer;
 use std::cmp::Reverse;
@@ -52,6 +52,21 @@ pub struct ServeConfig {
     pub max_group_bytes: usize,
     /// Whether idle gaps run background compaction steps.
     pub idle_compaction: bool,
+    /// In-request retries for a point read that errors (latent sector
+    /// error, corrupt block). Each retry waits `retry_backoff_ns` (then
+    /// doubling) of simulated time before reissuing.
+    pub read_retries: u32,
+    /// Backoff before the first read retry, ns; doubles per retry.
+    pub retry_backoff_ns: u64,
+    /// Failed point reads a client tolerates before giving up and
+    /// abandoning the rest of its operations (degraded-mode SLO: a
+    /// client facing a broken shard walks away rather than hammering
+    /// it). Failed reads are served as misses either way.
+    pub client_error_budget: u64,
+    /// When non-zero, idle gaps also run one scrub step with this byte
+    /// budget, so repair proceeds under load in the space compaction
+    /// leaves over. Zero disables in-flight scrubbing.
+    pub idle_scrub_bytes: u64,
 }
 
 impl ServeConfig {
@@ -72,6 +87,10 @@ impl ServeConfig {
             seed: 0x5EA1F007,
             max_group_bytes: 1 << 20,
             idle_compaction: true,
+            read_retries: 2,
+            retry_backoff_ns: 500_000,
+            client_error_budget: 64,
+            idle_scrub_bytes: 0,
         }
     }
 
@@ -159,6 +178,18 @@ pub struct ServeResult {
     pub hits: u64,
     /// Point reads that missed.
     pub misses: u64,
+    /// Point reads that succeeded only after at least one in-request
+    /// retry (the request was served, but degraded).
+    pub degraded_reads: u64,
+    /// Point reads that exhausted their retry budget and were served as
+    /// misses.
+    pub failed_reads: u64,
+    /// Files the in-flight scrubber repaired during idle gaps.
+    pub repaired_in_flight: u64,
+    /// Operations abandoned by clients that blew their error budget.
+    pub abandoned_ops: u64,
+    /// Clients that gave up before issuing all their operations.
+    pub clients_abandoned: u64,
 }
 
 impl ServeResult {
@@ -248,6 +279,48 @@ fn advance_clock(store: &mut Store, ns: u64) {
     store.db.ctx().lock().fs.disk_mut().advance_ns(ns);
 }
 
+/// What the degraded read path observed for one point read.
+struct ReadOutcome {
+    value: Option<Vec<u8>>,
+    /// Served, but only after at least one retry.
+    retried: bool,
+    /// Retry budget exhausted; served as a miss.
+    failed: bool,
+}
+
+/// A point read that survives device faults: on error, back off on the
+/// simulated clock (doubling) and reissue, up to `cfg.read_retries`
+/// times. A read that keeps failing is served as a miss rather than
+/// tearing down the serving loop — availability degrades, the server
+/// stays up, and the scrubber repairs the damage out-of-band.
+fn degraded_get(store: &mut Store, cfg: &ServeConfig, key: &[u8]) -> ReadOutcome {
+    let mut backoff = cfg.retry_backoff_ns.max(1);
+    let mut attempt = 0u32;
+    loop {
+        match store.get(key) {
+            Ok(value) => {
+                return ReadOutcome {
+                    value,
+                    retried: attempt > 0,
+                    failed: false,
+                }
+            }
+            Err(_) if attempt < cfg.read_retries => {
+                attempt += 1;
+                advance_clock(store, backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(_) => {
+                return ReadOutcome {
+                    value: None,
+                    retried: attempt > 0,
+                    failed: true,
+                }
+            }
+        }
+    }
+}
+
 /// Serves `cfg.total_ops` operations against a preloaded store and
 /// reports latency under the offered load.
 ///
@@ -315,8 +388,16 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
     let mut hits = 0u64;
     let mut misses = 0u64;
     let mut completed = 0u64;
+    let mut degraded_reads = 0u64;
+    let mut failed_reads = 0u64;
+    let mut repaired_in_flight = 0u64;
+    let mut abandoned_ops = 0u64;
+    let mut clients_abandoned = 0u64;
+    // Per-client failed-read tallies for the error budget.
+    let mut client_failures: Vec<u64> = vec![0; cfg.clients];
+    let mut gave_up: Vec<bool> = vec![false; cfg.clients];
 
-    while completed < cfg.total_ops {
+    while completed + abandoned_ops < cfg.total_ops {
         // Admit every arrival at or before the current clock. Open-loop
         // clients immediately schedule their next arrival (the offered
         // load ignores completions); closed-loop clients reschedule at
@@ -357,6 +438,17 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                     idle_compactions += 1;
                 }
             }
+            // Spare idle time also advances the scrubber: one budgeted
+            // step per gap, so repair makes progress under load without
+            // starving foreground requests (it may overshoot the next
+            // arrival, which then queues — same deal as compaction).
+            if cfg.idle_scrub_bytes > 0 && store.clock_ns() < t {
+                let scrub_cfg = ScrubConfig {
+                    bytes_per_step: cfg.idle_scrub_bytes,
+                    repair: true,
+                };
+                repaired_in_flight += store.scrub_step(&scrub_cfg)?.files_repaired;
+            }
             let now = store.clock_ns();
             if now < t {
                 advance_clock(store, t - now);
@@ -371,6 +463,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         depth_samples += 1;
         let service_start = store.clock_ns();
         let head = pending.pop_front().expect("non-empty queue");
+        let head_client = head.client;
         let mut members: Vec<(u64, usize)> = vec![(head.arrival_ns, head.client)];
         match head.op {
             Op::Write(mut batch) => {
@@ -400,7 +493,15 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 store.write(batch)?;
             }
             Op::Get(key) => {
-                if store.get(&key)?.is_some() {
+                let out = degraded_get(store, cfg, &key);
+                if out.retried {
+                    degraded_reads += 1;
+                }
+                if out.failed {
+                    failed_reads += 1;
+                    client_failures[head_client] += 1;
+                }
+                if out.value.is_some() {
                     hits += 1;
                 } else {
                     misses += 1;
@@ -410,13 +511,31 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 store.scan(&key, len)?;
             }
             Op::Rmw(key, value) => {
-                if store.get(&key)?.is_some() {
+                let out = degraded_get(store, cfg, &key);
+                if out.retried {
+                    degraded_reads += 1;
+                }
+                if out.failed {
+                    failed_reads += 1;
+                    client_failures[head_client] += 1;
+                }
+                if out.value.is_some() {
                     hits += 1;
                 } else {
                     misses += 1;
                 }
                 store.put(&key, &value)?;
             }
+        }
+        // A client that has blown its error budget walks away: whatever
+        // it had not yet issued is abandoned, not served. Checked before
+        // completion bookkeeping so a closed-loop client that just gave
+        // up does not reissue.
+        if !gave_up[head_client] && client_failures[head_client] >= cfg.client_error_budget.max(1) {
+            gave_up[head_client] = true;
+            clients_abandoned += 1;
+            abandoned_ops += remaining[head_client];
+            remaining[head_client] = 0;
         }
         let done = store.clock_ns();
         for &(arrival, client) in &members {
@@ -464,6 +583,11 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         idle_compactions,
         hits,
         misses,
+        degraded_reads,
+        failed_reads,
+        repaired_in_flight,
+        abandoned_ops,
+        clients_abandoned,
     };
     publish_obs(store, &result, &latencies, &queue_delays);
     Ok(result)
@@ -487,6 +611,14 @@ fn publish_obs(store: &mut Store, r: &ServeResult, latencies: &[u64], queue_dela
     obs.counter_add(ObsLayer::Frontend, "write_calls", r.write_calls);
     obs.counter_add(ObsLayer::Frontend, "write_ops", r.write_ops);
     obs.counter_add(ObsLayer::Frontend, "idle_compactions", r.idle_compactions);
+    obs.counter_add(ObsLayer::Frontend, "degraded_reads", r.degraded_reads);
+    obs.counter_add(ObsLayer::Frontend, "failed_reads", r.failed_reads);
+    obs.counter_add(
+        ObsLayer::Frontend,
+        "repaired_in_flight",
+        r.repaired_in_flight,
+    );
+    obs.counter_add(ObsLayer::Frontend, "abandoned_ops", r.abandoned_ops);
     obs.gauge_set(
         ObsLayer::Frontend,
         "queue_depth_max",
@@ -654,5 +786,164 @@ mod tests {
                 .gauge(ObsLayer::Frontend, "throughput_ops_per_sec")
                 > 0.0
         );
+    }
+
+    /// Extent of the largest live table — the degraded-mode tests damage
+    /// it so the read path is guaranteed to trip over the fault.
+    fn largest_file_extent(store: &Store) -> smr_sim::Extent {
+        let v = store.db.current_version();
+        let f = v
+            .files
+            .iter()
+            .flatten()
+            .max_by_key(|f| f.size)
+            .expect("preload left no tables")
+            .clone();
+        store.db.ctx().lock().fs.file_extent(f.id).unwrap()
+    }
+
+    #[test]
+    fn clean_run_reports_no_degradation() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let cfg = ServeConfig::new(
+            WorkloadSpec::b(),
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            4,
+            300,
+            800,
+        );
+        let r = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(r.ops, 300);
+        assert_eq!(r.degraded_reads, 0);
+        assert_eq!(r.failed_reads, 0);
+        assert_eq!(r.repaired_in_flight, 0);
+        assert_eq!(r.abandoned_ops, 0);
+        assert_eq!(r.clients_abandoned, 0);
+    }
+
+    #[test]
+    fn serving_survives_persistent_corruption_and_repairs_in_flight() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 1000u64;
+        let mut store = preloaded(StoreKind::SealDb, &gen, n);
+        let ext = largest_file_extent(&store);
+        // A latent-error region inside the table's first data block:
+        // every read through it returns flipped bits, so point reads on
+        // those keys keep failing until the scrubber rewrites the file.
+        store
+            .db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .faults_mut()
+            .corrupt_extent(smr_sim::Extent::new(ext.offset + 100, 64));
+        let mut cfg = ServeConfig::new(
+            WorkloadSpec::c(),
+            ArrivalProcess::ClosedLoop {
+                think_ns: 2_000_000,
+            },
+            4,
+            600,
+            n,
+        );
+        cfg.idle_scrub_bytes = 64 << 10;
+        cfg.client_error_budget = u64::MAX;
+        let r = run_serve(&mut store, &gen, &cfg).unwrap();
+        // The loop survived the fault: every op was served, none
+        // abandoned, and the scrubber repaired the table under load.
+        assert_eq!(r.ops, 600);
+        assert_eq!(r.abandoned_ops, 0);
+        assert!(
+            r.repaired_in_flight >= 1,
+            "idle scrub must repair the damaged table"
+        );
+        // Reads that hit the bad block before the repair were served as
+        // misses; the closed keyspace makes them the only misses.
+        assert_eq!(r.misses, r.failed_reads);
+        // After the serve, the damage is gone: every key reads back.
+        for i in 0..n {
+            assert!(store.get(&gen.key(i)).unwrap().is_some(), "key {i}");
+        }
+        let m = store.metrics_snapshot();
+        assert_eq!(
+            m.obs
+                .registry
+                .counter(ObsLayer::Frontend, "repaired_in_flight"),
+            r.repaired_in_flight
+        );
+    }
+
+    #[test]
+    fn error_budget_makes_clients_walk_away() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 1000u64;
+        let mut store = preloaded(StoreKind::SealDb, &gen, n);
+        let ext = largest_file_extent(&store);
+        // The whole table sits on a dead region: every read into it
+        // errors, unrecoverably. No scrub runs, so it never heals.
+        store
+            .db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .faults_mut()
+            .fail_reads_permanently(ext);
+        let mut cfg = ServeConfig::new(
+            WorkloadSpec::c(),
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            4,
+            600,
+            n,
+        );
+        cfg.client_error_budget = 3;
+        cfg.read_retries = 1;
+        let r = run_serve(&mut store, &gen, &cfg).unwrap();
+        assert!(r.failed_reads >= 3, "reads into the dead table must fail");
+        assert!(r.clients_abandoned >= 1, "budget must trip");
+        assert!(r.abandoned_ops > 0);
+        assert_eq!(
+            r.ops + r.abandoned_ops,
+            600,
+            "every op is either served or abandoned"
+        );
+    }
+
+    #[test]
+    fn degraded_runs_with_same_seed_are_identical() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let n = 800u64;
+        let go = || {
+            let mut store = preloaded(StoreKind::SealDb, &gen, n);
+            let ext = largest_file_extent(&store);
+            store
+                .db
+                .ctx()
+                .lock()
+                .fs
+                .disk_mut()
+                .faults_mut()
+                .corrupt_extent(smr_sim::Extent::new(ext.offset + 64, 32));
+            let mut cfg = ServeConfig::new(
+                WorkloadSpec::b(),
+                ArrivalProcess::ClosedLoop {
+                    think_ns: 1_000_000,
+                },
+                4,
+                400,
+                n,
+            );
+            cfg.idle_scrub_bytes = 64 << 10;
+            run_serve(&mut store, &gen, &cfg).unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.sim_ns, b.sim_ns);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.failed_reads, b.failed_reads);
+        assert_eq!(a.degraded_reads, b.degraded_reads);
+        assert_eq!(a.repaired_in_flight, b.repaired_in_flight);
+        assert_eq!(a.abandoned_ops, b.abandoned_ops);
     }
 }

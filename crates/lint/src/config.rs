@@ -122,12 +122,14 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/lsm-core/src/wal.rs",
             "crates/lsm-core/src/version/**",
             "crates/lsm-core/src/filestore.rs",
+            "crates/lsm-core/src/db/scrub.rs",
         ],
-        // Corruption errors raised during recovery must say where the
-        // bad bytes live.
+        // Corruption errors raised during recovery or repair must say
+        // where the bad bytes live.
         Rule::ErrorContext => vec![
             "crates/lsm-core/src/wal.rs",
             "crates/lsm-core/src/version/**",
+            "crates/lsm-core/src/db/scrub.rs",
         ],
         // Byte-accounting code must not silently truncate counters.
         Rule::NoLossyCastInAccounting => {
@@ -200,6 +202,20 @@ mod tests {
             "**/prop_*.rs",
             "crates/placement/tests/alloc.rs"
         ));
+    }
+
+    #[test]
+    fn scrub_module_is_in_repair_rule_scopes() {
+        // The scrubber's repair path is held to the same standard as
+        // crash recovery: no panics, and corruption errors carry
+        // file/offset context.
+        let scrub = "crates/lsm-core/src/db/scrub.rs";
+        for rule in [Rule::NoUnwrapInRecovery, Rule::ErrorContext] {
+            assert!(
+                default_scope(rule).iter().any(|p| path_matches(p, scrub)),
+                "{rule:?} does not cover the scrub module"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub mod batch;
 pub mod iter;
 /// Tunable open-time options.
 pub mod options;
+/// Online scrub-and-repair of SSTable blocks.
+pub mod scrub;
 
 use crate::context::{evict_file, get_table, new_ctx, SharedCtx};
 use crate::error::Result;
@@ -175,6 +177,11 @@ pub struct DbCore {
     recovery: RecoveryReport,
     /// Write-stall accounting (deferred-compaction mode).
     stalls: StallStats,
+    /// Resume point of the incremental scrubber: the (level, file id)
+    /// most recently scanned this pass.
+    scrub_cursor: Option<(usize, FileId)>,
+    /// Lifetime scrub totals across all steps.
+    scrub_totals: scrub::ScrubReport,
 }
 
 impl std::fmt::Debug for DbCore {
@@ -224,6 +231,8 @@ impl DbCore {
             snapshots: Vec::new(),
             recovery: RecoveryReport::default(),
             stalls: StallStats::default(),
+            scrub_cursor: None,
+            scrub_totals: scrub::ScrubReport::default(),
         })
     }
 
@@ -333,6 +342,8 @@ impl DbCore {
             snapshots: Vec::new(),
             recovery: report,
             stalls: StallStats::default(),
+            scrub_cursor: None,
+            scrub_totals: scrub::ScrubReport::default(),
         })
     }
 
@@ -381,6 +392,14 @@ impl DbCore {
             for &(_, id) in &bad {
                 self.policy.delete_file(&mut guard.fs, id)?;
             }
+        }
+        for &(level, id) in &bad {
+            self.obs_event(
+                ObsLayer::Lsm,
+                ObsEventKind::FileQuarantined,
+                id,
+                level as u64,
+            );
         }
         let ids: Vec<FileId> = bad.into_iter().map(|(_, id)| id).collect();
         for &id in &ids {

@@ -12,6 +12,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Chunk granularity of the conventional log zone.
 pub const LOG_CHUNK: u64 = 256 * 1024;
 
+/// Transient-read retries attempted before surfacing the error.
+pub const READ_RETRY_BUDGET: u32 = 3;
+
+/// Simulated backoff charged before the first retry; doubles per retry.
+pub const READ_RETRY_BACKOFF_NS: u64 = 500_000;
+
 #[derive(Debug, Clone)]
 struct LogFile {
     chunks: Vec<u64>,
@@ -87,17 +93,27 @@ impl FileStore {
         }
     }
 
-    /// Reads from the disk, retrying once on an injected transient read
-    /// error — the host-side handling real drivers apply to recoverable
-    /// latent sector errors. Permanent faults pass through unchanged.
+    /// Reads from the disk with a bounded retry budget on injected
+    /// transient read errors — the host-side handling real drivers apply
+    /// to recoverable latent sector errors. Each retry charges an
+    /// exponentially growing backoff to the *simulated* clock
+    /// ([`READ_RETRY_BACKOFF_NS`] doubling per attempt), so retry storms
+    /// show up in latency histograms deterministically. Permanent faults
+    /// (`DiskError::UnrecoverableRead` among them) pass through
+    /// unchanged on the first attempt.
     fn read_disk_retrying(&mut self, ext: Extent, kind: IoKind) -> Result<Vec<u8>> {
-        match self.disk.read(ext, kind) {
-            Err(e) if e.is_transient() => {
-                self.disk.stats_mut().faults.read_retries += 1;
-                Ok(self.disk.read(ext, kind)?)
+        let mut backoff = READ_RETRY_BACKOFF_NS;
+        for _ in 0..READ_RETRY_BUDGET {
+            match self.disk.read(ext, kind) {
+                Err(e) if e.is_transient() => {
+                    self.disk.stats_mut().faults.read_retries += 1;
+                    self.disk.advance_ns(backoff);
+                    backoff *= 2;
+                }
+                other => return Ok(other?),
             }
-            other => Ok(other?),
         }
+        Ok(self.disk.read(ext, kind)?)
     }
 
     /// Captures a power-cut image at an operation boundary when the
@@ -525,6 +541,43 @@ mod tests {
         s.disk_mut().faults_mut().fail_reads_transiently(4);
         assert_eq!(s.log_read_all(100, IoKind::Meta).unwrap(), payload);
         assert_eq!(s.disk().stats().faults.read_retries, 2);
+    }
+
+    #[test]
+    fn retry_backoff_is_charged_to_the_simulated_clock() {
+        let mut s = fs();
+        let data = vec![0x5A; 4096];
+        s.write_file_at(7, Extent::new(0, 4096), &data, IoKind::Flush)
+            .unwrap();
+        let quiet = {
+            let t0 = s.disk().clock_ns();
+            s.read_full(7, IoKind::Get).unwrap();
+            s.disk().clock_ns() - t0
+        };
+        s.disk_mut().faults_mut().fail_reads_transiently(1);
+        let t0 = s.disk().clock_ns();
+        assert_eq!(s.read_full(7, IoKind::Get).unwrap(), data);
+        let retried = s.disk().clock_ns() - t0;
+        assert!(
+            retried >= quiet + super::READ_RETRY_BACKOFF_NS,
+            "retry must cost at least one backoff: {retried} vs {quiet}"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_read_is_not_retried() {
+        let mut s = fs();
+        let data = vec![0x5A; 4096];
+        s.write_file_at(7, Extent::new(0, 4096), &data, IoKind::Flush)
+            .unwrap();
+        s.disk_mut()
+            .faults_mut()
+            .fail_reads_permanently(Extent::new(0, 4096));
+        let err = s.read_full(7, IoKind::Get).unwrap_err();
+        assert!(err.to_string().contains("unrecoverable"), "got {err}");
+        // The retry budget stays unconsumed: retries cannot help.
+        assert_eq!(s.disk().stats().faults.read_retries, 0);
+        assert_eq!(s.disk().stats().faults.unrecoverable_reads, 1);
     }
 
     #[test]

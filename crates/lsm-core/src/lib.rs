@@ -52,8 +52,10 @@ pub mod version;
 pub mod wal;
 
 pub use db::{
-    batch::WriteBatch, options::Options, CompactionRecord, DbCore, RecoveryReport, Snapshot,
-    StallStats,
+    batch::WriteBatch,
+    options::Options,
+    scrub::{FileHealth, ScrubConfig, ScrubReport},
+    CompactionRecord, DbCore, RecoveryReport, Snapshot, StallStats,
 };
 pub use error::{Error, Result};
 pub use filestore::{CrashImage, FileStore};

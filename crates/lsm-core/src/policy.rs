@@ -58,6 +58,18 @@ pub trait PlacementPolicy: Send {
         0
     }
 
+    /// Fences `ext` off the allocator's future-allocation path: a latent
+    /// sector error or failed band the scrubber discovered. Live data
+    /// inside the fence is *not* copied out here — relocation happens
+    /// through scrub repair, which verifies checksums block by block; a
+    /// raw GC copy of a latent-error region would either fail outright or
+    /// silently propagate flipped bits. Returns the bytes newly fenced
+    /// (0 for policies whose allocator does not support fencing).
+    fn quarantine_extent(&mut self, fs: &mut FileStore, ext: Extent) -> u64 {
+        let _ = (fs, ext);
+        0
+    }
+
     /// Introspection over the underlying allocator (layout figures).
     fn allocator(&self) -> &dyn Allocator;
 
@@ -242,6 +254,12 @@ impl PlacementPolicy for PerFilePolicy {
         self.alloc.free(ext);
         drain_alloc_events(self.alloc.as_mut(), fs);
         self.journal(fs)
+    }
+
+    fn quarantine_extent(&mut self, fs: &mut FileStore, ext: Extent) -> u64 {
+        let fenced = self.alloc.quarantine(ext);
+        drain_alloc_events(self.alloc.as_mut(), fs);
+        fenced
     }
 
     fn allocator(&self) -> &dyn Allocator {

@@ -51,7 +51,7 @@ impl BlockHandle {
         v
     }
 
-    fn decode(src: &[u8]) -> Result<(BlockHandle, usize)> {
+    pub(crate) fn decode(src: &[u8]) -> Result<(BlockHandle, usize)> {
         let Some((offset, n1)) = get_varint64(src) else {
             return corruption("bad block handle offset");
         };
@@ -256,7 +256,7 @@ fn check_block_at(
     })
 }
 
-fn check_block(contents_and_trailer: &[u8]) -> Result<Vec<u8>> {
+pub(crate) fn check_block(contents_and_trailer: &[u8]) -> Result<Vec<u8>> {
     if contents_and_trailer.len() < BLOCK_TRAILER_SIZE {
         return corruption("block shorter than trailer");
     }

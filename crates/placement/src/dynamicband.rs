@@ -41,6 +41,10 @@ pub struct DynamicBandAlloc {
     free: FreeSpaceList,
     live: BTreeMap<u64, AllocRecord>,
     allocated: u64,
+    /// Fenced extents (sorted, non-overlapping): latent-error regions the
+    /// scrubber quarantined. Never allocated from; freed space overlapping
+    /// a fence is dropped rather than recycled.
+    fenced: Vec<Extent>,
     /// Band-lifecycle events queued for [`Allocator::take_events`].
     events: Vec<AllocEvent>,
 }
@@ -56,6 +60,7 @@ impl DynamicBandAlloc {
             free: FreeSpaceList::new(sstable_size),
             live: BTreeMap::new(),
             allocated: 0,
+            fenced: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -83,6 +88,30 @@ impl DynamicBandAlloc {
             .into_iter()
             .filter(|e| e.len < threshold)
             .collect()
+    }
+
+    /// Fenced (quarantined) extents, sorted by offset.
+    pub fn fenced_extents(&self) -> &[Extent] {
+        &self.fenced
+    }
+
+    /// Inserts `ext` into the free pool, dropping any parts that overlap
+    /// a fenced region.
+    fn insert_unfenced(&mut self, ext: Extent) {
+        let mut cur = ext.offset;
+        let end = ext.end();
+        for f in &self.fenced {
+            if f.end() <= cur || f.offset >= end {
+                continue;
+            }
+            if f.offset > cur {
+                self.free.insert(Extent::new(cur, f.offset - cur));
+            }
+            cur = cur.max(f.end());
+        }
+        if cur < end {
+            self.free.insert(Extent::new(cur, end - cur));
+        }
     }
 
     /// Reconstructs the dynamic bands: maximal runs of live allocations
@@ -136,6 +165,18 @@ impl Allocator for DynamicBandAlloc {
         }
         // Append at the frontier of the banded region. No guard is
         // reserved: the space past the frontier holds no valid data.
+        // Skip the frontier past any fenced region the append would touch.
+        loop {
+            let cand = Extent::new(self.frontier, size);
+            match self
+                .fenced
+                .iter()
+                .find(|f| f.offset < cand.end() && f.end() > cand.offset)
+            {
+                Some(f) => self.frontier = f.end(),
+                None => break,
+            }
+        }
         if self.frontier + size > self.capacity {
             return Err(AllocError::OutOfSpace {
                 requested: size,
@@ -168,8 +209,9 @@ impl Allocator for DynamicBandAlloc {
         assert_eq!(rec.data_len, ext.len, "free with wrong length for {ext:?}");
         self.allocated -= rec.data_len;
         // The guard bytes reserved with the allocation are recycled too;
-        // coalescing happens inside the free list.
-        self.free.insert(Extent::new(ext.offset, rec.reserved_len));
+        // coalescing happens inside the free list. Parts overlapping a
+        // fenced region are dropped, not recycled.
+        self.insert_unfenced(Extent::new(ext.offset, rec.reserved_len));
         self.events.push(AllocEvent {
             kind: ObsEventKind::BandRecycle,
             offset: ext.offset,
@@ -193,11 +235,61 @@ impl Allocator for DynamicBandAlloc {
         "dynamic-band"
     }
 
+    fn quarantine(&mut self, ext: Extent) -> u64 {
+        // Clip to capacity, then to the parts not already fenced.
+        let end = ext.end().min(self.capacity);
+        if ext.offset >= end {
+            return 0;
+        }
+        let mut fresh: Vec<Extent> = Vec::new();
+        let mut cur = ext.offset;
+        for f in &self.fenced {
+            if f.end() <= cur || f.offset >= end {
+                continue;
+            }
+            if f.offset > cur {
+                fresh.push(Extent::new(cur, f.offset - cur));
+            }
+            cur = cur.max(f.end());
+        }
+        if cur < end {
+            fresh.push(Extent::new(cur, end - cur));
+        }
+        if fresh.is_empty() {
+            return 0;
+        }
+        let newly_fenced: u64 = fresh.iter().map(|e| e.len).sum();
+        self.fenced.extend(fresh.iter().copied());
+        self.fenced.sort_by_key(|e| e.offset);
+        // Purge the fence from the recycled free pool: rebuild the list
+        // from its surviving (unfenced) regions.
+        let regions = self.free.regions();
+        self.free = FreeSpaceList::new(self.free.align());
+        for r in regions {
+            self.insert_unfenced(r);
+        }
+        for e in &fresh {
+            self.events.push(AllocEvent {
+                kind: ObsEventKind::BandQuarantine,
+                offset: e.offset,
+                len: e.len,
+            });
+        }
+        newly_fenced
+    }
+
+    fn quarantined_bytes(&self) -> u64 {
+        self.fenced.iter().map(|e| e.len).sum()
+    }
+
     fn rebuild(&mut self, live: &[Extent]) {
         self.live.clear();
         self.free = FreeSpaceList::new(self.free.align());
         self.allocated = 0;
         self.frontier = 0;
+        // Fences are in-memory knowledge from the scrubber; after a crash
+        // the restarted scrubber re-discovers and re-fences bad regions.
+        self.fenced.clear();
         self.events.clear();
         for ext in live {
             // Guard bytes the lost allocation had reserved past its data
@@ -391,6 +483,78 @@ mod tests {
         assert_eq!(evs[1].len, 24 * MB);
         // Draining empties the queue.
         assert!(a.take_events().is_empty());
+    }
+
+    #[test]
+    fn quarantine_removes_fence_from_free_pool() {
+        let mut a = alloc();
+        let s1 = a.allocate(24 * MB).unwrap();
+        let _s2 = a.allocate(8 * MB).unwrap();
+        a.free(s1);
+        assert_eq!(a.free_pool_bytes(), 24 * MB);
+        // Fence 8 MB in the middle of the hole: the pool splits around it.
+        let fenced = a.quarantine(Extent::new(8 * MB, 8 * MB));
+        assert_eq!(fenced, 8 * MB);
+        assert_eq!(a.quarantined_bytes(), 8 * MB);
+        assert_eq!(a.free_pool_bytes(), 16 * MB);
+        assert_eq!(
+            a.free_regions(),
+            vec![Extent::new(0, 8 * MB), Extent::new(16 * MB, 8 * MB)]
+        );
+        // Re-fencing the same range is a no-op.
+        assert_eq!(a.quarantine(Extent::new(8 * MB, 8 * MB)), 0);
+        // Allocations never land on the fence.
+        let e = a.allocate(4 * MB).unwrap();
+        assert!(e.end() <= 8 * MB || e.offset >= 16 * MB);
+    }
+
+    #[test]
+    fn frontier_append_skips_fenced_region() {
+        let mut a = alloc();
+        a.allocate(8 * MB).unwrap();
+        // Fence a region just past the frontier.
+        a.quarantine(Extent::new(10 * MB, 6 * MB));
+        let e = a.allocate(4 * MB).unwrap();
+        assert_eq!(e.offset, 16 * MB, "append skips the fence");
+        assert_eq!(a.frontier(), 20 * MB);
+    }
+
+    #[test]
+    fn free_of_fenced_allocation_drops_fenced_part() {
+        let mut a = alloc();
+        let s1 = a.allocate(16 * MB).unwrap();
+        let _s2 = a.allocate(8 * MB).unwrap();
+        // Fence the middle of the *live* allocation, then free it: only
+        // the unfenced parts return to the pool.
+        a.quarantine(Extent::new(4 * MB, 4 * MB));
+        a.free(s1);
+        assert_eq!(a.free_pool_bytes(), 12 * MB);
+        assert_eq!(
+            a.free_regions(),
+            vec![Extent::new(0, 4 * MB), Extent::new(8 * MB, 8 * MB)]
+        );
+    }
+
+    #[test]
+    fn quarantine_queues_band_quarantine_events() {
+        let mut a = alloc();
+        a.allocate(8 * MB).unwrap();
+        a.take_events();
+        a.quarantine(Extent::new(32 * MB, 4 * MB));
+        let evs = a.take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, ObsEventKind::BandQuarantine);
+        assert_eq!(evs[0].offset, 32 * MB);
+        assert_eq!(evs[0].len, 4 * MB);
+    }
+
+    #[test]
+    fn rebuild_clears_fences() {
+        let mut a = alloc();
+        let s1 = a.allocate(8 * MB).unwrap();
+        a.quarantine(Extent::new(16 * MB, 4 * MB));
+        a.rebuild(&[s1]);
+        assert_eq!(a.quarantined_bytes(), 0);
     }
 
     #[test]

@@ -96,6 +96,23 @@ pub trait Allocator: Send {
     /// handed out again, which is safe, merely conservative.
     fn rebuild(&mut self, live: &[Extent]);
 
+    /// Fences `ext` off the allocation path: a latent sector error or
+    /// failed band discovered by the scrubber. Fenced space is removed
+    /// from the free pool and never handed out again; space currently
+    /// allocated inside the fence stays with its owner until freed, at
+    /// which point the fenced part is dropped instead of recycled.
+    /// Returns the bytes *newly* fenced (0 when the range was already
+    /// fenced, or for allocators without fencing support).
+    fn quarantine(&mut self, ext: Extent) -> u64 {
+        let _ = ext;
+        0
+    }
+
+    /// Total bytes currently fenced by [`Allocator::quarantine`].
+    fn quarantined_bytes(&self) -> u64 {
+        0
+    }
+
     /// Dynamic-band snapshot: (band extent, live allocations inside), for
     /// allocators that track bands (Fig. 13). Default: none.
     fn band_snapshot(&self) -> Vec<(Extent, usize)> {

@@ -141,6 +141,12 @@ impl PlacementPolicy for SetPolicy {
         }
     }
 
+    fn quarantine_extent(&mut self, fs: &mut FileStore, ext: Extent) -> u64 {
+        let fenced = self.alloc.quarantine(ext);
+        drain_alloc_events(self.alloc.as_mut(), fs);
+        fenced
+    }
+
     fn allocator(&self) -> &dyn Allocator {
         self.alloc.as_ref()
     }

@@ -2,8 +2,8 @@
 //! quantity the paper's figures report.
 
 use crate::config::StoreKind;
-use lsm_core::{CompactionRecord, DbCore, Result, SetStats};
-use smr_sim::{Extent, IoStats, Obs, ObsLayer, TraceEvent};
+use lsm_core::{CompactionRecord, DbCore, Result, ScrubConfig, ScrubReport, SetStats};
+use smr_sim::{neutral_ratio, Extent, IoStats, Obs, ObsLayer, TraceEvent};
 
 /// One of the paper's key-value stores, ready for workloads.
 #[derive(Debug)]
@@ -203,6 +203,23 @@ impl Store {
         self.db.compact_step()
     }
 
+    /// Runs one budgeted scrub step (see [`DbCore::scrub_step`]): verify
+    /// up to `cfg.bytes_per_step` bytes of live tables, repairing or
+    /// quarantining what fails its checksums.
+    pub fn scrub_step(&mut self, cfg: &ScrubConfig) -> Result<ScrubReport> {
+        self.db.scrub_step(cfg)
+    }
+
+    /// Scrubs every live table once (see [`DbCore::scrub_full`]).
+    pub fn scrub_full(&mut self, cfg: &ScrubConfig) -> Result<ScrubReport> {
+        self.db.scrub_full(cfg)
+    }
+
+    /// Lifetime scrub totals across all steps.
+    pub fn scrub_report(&self) -> &ScrubReport {
+        self.db.scrub_report()
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         self.kind.name()
@@ -241,6 +258,7 @@ impl Store {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let name = self.kind.name();
         let flushes = self.db.flush_count();
+        let rec = self.db.recovery_report().clone();
         let ctx = self.db.ctx();
         let mut guard = ctx.lock();
         let (bh, bm) = guard.block_cache.hit_stats();
@@ -248,19 +266,23 @@ impl Store {
         let stats = guard.fs.disk().stats().clone();
         let clock_ns = guard.fs.disk().clock_ns();
         let obs = guard.fs.disk_mut().obs_mut();
-        let ratio = |h: u64, m: u64| {
-            if h + m == 0 {
-                0.0
-            } else {
-                h as f64 / (h + m) as f64
-            }
-        };
+        // Zero-denominator ratios follow the workspace-wide neutral-1.0
+        // convention (a cold cache with no lookups has missed nothing);
+        // see `smr_sim::neutral_ratio` and DESIGN.md, "Ratio conventions".
         obs.gauge_set(ObsLayer::Cache, "block_hits", bh as f64);
         obs.gauge_set(ObsLayer::Cache, "block_misses", bm as f64);
-        obs.gauge_set(ObsLayer::Cache, "block_hit_ratio", ratio(bh, bm));
+        obs.gauge_set(
+            ObsLayer::Cache,
+            "block_hit_ratio",
+            neutral_ratio(bh, bh + bm),
+        );
         obs.gauge_set(ObsLayer::Cache, "table_hits", th as f64);
         obs.gauge_set(ObsLayer::Cache, "table_misses", tm as f64);
-        obs.gauge_set(ObsLayer::Cache, "table_hit_ratio", ratio(th, tm));
+        obs.gauge_set(
+            ObsLayer::Cache,
+            "table_hit_ratio",
+            neutral_ratio(th, th + tm),
+        );
         obs.gauge_set(ObsLayer::Store, "wa", stats.wa());
         obs.gauge_set(ObsLayer::Store, "awa", stats.awa());
         obs.gauge_set(ObsLayer::Store, "mwa", stats.mwa());
@@ -291,6 +313,31 @@ impl Store {
             ObsLayer::Device,
             "fault_checksum_failures",
             f.checksum_failures as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_unrecoverable_reads",
+            f.unrecoverable_reads as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Device,
+            "fault_fail_slow_reads",
+            f.fail_slow_reads as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Store,
+            "recovery_wal_records_skipped",
+            rec.wal_records_skipped as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Store,
+            "recovery_files_quarantined",
+            rec.files_quarantined as f64,
+        );
+        obs.gauge_set(
+            ObsLayer::Store,
+            "recovery_manifest_records_dropped",
+            rec.manifest_records_dropped as f64,
         );
         MetricsSnapshot {
             name,
@@ -371,6 +418,46 @@ mod tests {
         // The allocator's band lifecycle reached the placement layer.
         assert!(m.obs.registry.counter(ObsLayer::Placement, "band-append") > 0);
         assert!(!m.obs.tracer.is_empty());
+    }
+
+    #[test]
+    fn zero_traffic_ratios_follow_the_neutral_convention() {
+        // A freshly opened store has no cache lookups and no writes; every
+        // exported ratio must be the neutral 1.0 — never 0.0 or NaN (see
+        // DESIGN.md, "Ratio conventions").
+        let cfg = StoreConfig::new(StoreKind::SealDb, 256 << 10, 1 << 30);
+        let s = cfg.build().unwrap();
+        let m = s.metrics_snapshot();
+        for (layer, g) in [
+            (ObsLayer::Cache, "block_hit_ratio"),
+            (ObsLayer::Cache, "table_hit_ratio"),
+            (ObsLayer::Store, "wa"),
+            (ObsLayer::Store, "awa"),
+            (ObsLayer::Store, "mwa"),
+        ] {
+            assert_eq!(m.obs.registry.gauge(layer, g), 1.0, "{g}");
+        }
+        // And the neutral_ratio helper itself: defined everywhere, exact
+        // quotient when the denominator is non-zero.
+        assert_eq!(smr_sim::neutral_ratio(0, 0), 1.0);
+        assert_eq!(smr_sim::neutral_ratio(3, 4), 0.75);
+        assert!(smr_sim::neutral_ratio(u64::MAX, 1).is_finite());
+    }
+
+    #[test]
+    fn metrics_snapshot_exports_recovery_and_fault_gauges() {
+        let m = exercised(StoreKind::SealDb);
+        // Clean run: the gauges exist and read zero.
+        for g in [
+            "recovery_wal_records_skipped",
+            "recovery_files_quarantined",
+            "recovery_manifest_records_dropped",
+        ] {
+            assert_eq!(m.obs.registry.gauge(ObsLayer::Store, g), 0.0, "{g}");
+        }
+        for g in ["fault_unrecoverable_reads", "fault_fail_slow_reads"] {
+            assert_eq!(m.obs.registry.gauge(ObsLayer::Device, g), 0.0, "{g}");
+        }
     }
 
     #[test]

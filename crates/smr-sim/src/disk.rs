@@ -430,6 +430,19 @@ impl Disk {
         if !self.valid.covers(ext) {
             return Err(DiskError::ReadUnwritten { ext });
         }
+        // Persistent faults dominate: a latent sector error fails the
+        // read before any transient budget is consumed, so retrying the
+        // same extent keeps failing exactly the same way.
+        if self.faults.persistent_fault(ext) {
+            self.stats.faults.unrecoverable_reads += 1;
+            self.obs_event(
+                ObsLayer::Device,
+                ObsEventKind::UnrecoverableRead,
+                ext.offset,
+                ext.len,
+            );
+            return Err(DiskError::UnrecoverableRead { ext });
+        }
         if self.faults.on_read(ext) {
             self.stats.faults.transient_read_errors += 1;
             self.obs_event(
@@ -466,6 +479,21 @@ impl Disk {
                 }
                 t
             }
+        };
+        // Fail-slow region: the read completes, but at a multiple of its
+        // modelled service time — visible only in latency accounting.
+        let slow = self.faults.fail_slow_factor(ext);
+        let t = if slow > 1 {
+            self.stats.faults.fail_slow_reads += 1;
+            self.obs_event(
+                ObsLayer::Device,
+                ObsEventKind::FailSlowRead,
+                ext.offset,
+                slow,
+            );
+            t * slow
+        } else {
+            t
         };
         self.head = ext.end();
         self.clock_ns += t;
@@ -1125,6 +1153,77 @@ mod tests {
         assert!(err.is_transient());
         assert_eq!(d.stats().faults.transient_read_errors, 1);
         assert_eq!(d.read(Extent::new(0, 4096), IoKind::Raw).unwrap(), payload);
+    }
+
+    #[test]
+    fn unrecoverable_read_fails_every_attempt() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        let payload = data(4096);
+        d.write(Extent::new(0, 4096), &payload, IoKind::Raw)
+            .unwrap();
+        d.write(Extent::new(8192, 4096), &payload, IoKind::Raw)
+            .unwrap();
+        d.faults_mut().fail_reads_permanently(Extent::new(100, 8));
+        for _ in 0..3 {
+            let err = d.read(Extent::new(0, 4096), IoKind::Raw).unwrap_err();
+            assert_eq!(
+                err,
+                DiskError::UnrecoverableRead {
+                    ext: Extent::new(0, 4096)
+                }
+            );
+            assert!(!err.is_transient(), "persistent faults must not retry");
+        }
+        assert_eq!(d.stats().faults.unrecoverable_reads, 3);
+        // Reads clear of the bad sector still succeed.
+        assert_eq!(
+            d.read(Extent::new(8192, 4096), IoKind::Raw).unwrap(),
+            payload
+        );
+        // Persistent dominates transient: the budget is untouched.
+        d.faults_mut().fail_reads_transiently(1);
+        assert!(d.read(Extent::new(0, 4096), IoKind::Raw).is_err());
+        assert_eq!(d.stats().faults.transient_read_errors, 0);
+    }
+
+    #[test]
+    fn failed_band_reads_fail_and_are_enumerable() {
+        let mut d = Disk::new(100 * MB, Layout::Hdd, model(100 * MB));
+        d.write(Extent::new(0, MB), &data(MB), IoKind::Raw).unwrap();
+        d.faults_mut().fail_band(Extent::new(0, MB));
+        assert!(matches!(
+            d.read(Extent::new(1000, 100), IoKind::Raw),
+            Err(DiskError::UnrecoverableRead { .. })
+        ));
+        assert_eq!(d.faults().failed_bands(), &[Extent::new(0, MB)]);
+        d.faults_mut().clear_persistent_faults();
+        assert!(d.read(Extent::new(1000, 100), IoKind::Raw).is_ok());
+    }
+
+    #[test]
+    fn fail_slow_reads_succeed_but_multiply_latency() {
+        let cap = 100 * MB;
+        let payload = data(4096);
+        let run = |slow: Option<(Extent, u64)>| {
+            let mut d = Disk::new(cap, Layout::Hdd, model(cap));
+            d.write(Extent::new(0, 4096), &payload, IoKind::Raw)
+                .unwrap();
+            if let Some((ext, m)) = slow {
+                d.faults_mut().slow_reads(ext, m);
+            }
+            let t0 = d.clock_ns();
+            let back = d.read(Extent::new(0, 4096), IoKind::Raw).unwrap();
+            assert_eq!(back, payload);
+            (d.clock_ns() - t0, d.stats().faults.fail_slow_reads)
+        };
+        let (fast_ns, fast_count) = run(None);
+        let (slow_ns, slow_count) = run(Some((Extent::new(0, 4096), 8)));
+        assert_eq!(fast_count, 0);
+        assert_eq!(slow_count, 1);
+        assert_eq!(slow_ns, fast_ns * 8, "multiplier must scale service time");
+        // Deterministic: the same slow read costs the same again.
+        let (slow_ns2, _) = run(Some((Extent::new(0, 4096), 8)));
+        assert_eq!(slow_ns, slow_ns2);
     }
 
     #[test]

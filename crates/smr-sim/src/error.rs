@@ -29,6 +29,11 @@ pub enum DiskError {
     /// An injected *transient* read error (latent sector error that a
     /// retry recovers): re-issuing the same read succeeds.
     TransientRead { ext: Extent },
+    /// An injected *persistent* read error: the extent overlaps a latent
+    /// sector error (or failed band) registered in the fault plan, so
+    /// every read of it fails — no retry budget helps. Recovery requires
+    /// relocating or re-materialising the data elsewhere.
+    UnrecoverableRead { ext: Extent },
 }
 
 impl DiskError {
@@ -60,6 +65,12 @@ impl fmt::Display for DiskError {
             }
             DiskError::TransientRead { ext } => {
                 write!(f, "transient read error at {ext:?} (retry should succeed)")
+            }
+            DiskError::UnrecoverableRead { ext } => {
+                write!(
+                    f,
+                    "unrecoverable read error at {ext:?} (persistent media fault)"
+                )
             }
         }
     }

@@ -14,6 +14,15 @@
 //! * **Transient read errors** — a read fails once with
 //!   [`crate::DiskError::TransientRead`]; re-issuing the same read
 //!   succeeds, so hosts that retry recover.
+//! * **Persistent read errors** — latent sector errors and whole-band
+//!   failures that fail *every* read of a registered region with
+//!   [`crate::DiskError::UnrecoverableRead`]. No retry budget helps;
+//!   the host must relocate or re-materialise the data (the scrubber's
+//!   job).
+//! * **Fail-slow regions** — reads overlapping a registered region take
+//!   a deterministic latency multiplier. No error is returned: the
+//!   fault is visible only in latency histograms, modelling the
+//!   fail-slow drives IMRSim-style device studies document.
 //! * **Crash-point snapshots** — the disk takes a cheap copy-on-write
 //!   snapshot of its state every Kth write, letting a harness "power
 //!   cut" at arbitrary write boundaries and reopen from each image.
@@ -61,6 +70,13 @@ pub struct FaultPlan {
     transient_budget: u64,
     /// Offsets that already failed once (their retry succeeds).
     transient_seen: BTreeSet<u64>,
+    /// Latent sector errors: every read overlapping one fails.
+    unrecoverable: Vec<Extent>,
+    /// Whole-band failures: like `unrecoverable`, tracked separately so
+    /// the placement layer can enumerate bands to quarantine.
+    failed_bands: Vec<Extent>,
+    /// Fail-slow regions with their read-latency multiplier.
+    fail_slow: Vec<(Extent, u64)>,
     /// Take a disk snapshot every `k` completed writes.
     snapshot_every: Option<u64>,
 }
@@ -119,6 +135,56 @@ impl FaultPlan {
         self.transient_seen.clear();
     }
 
+    /// Registers a latent sector error: every future read overlapping
+    /// `ext` fails with [`crate::DiskError::UnrecoverableRead`]. Unlike
+    /// transient errors, retries never succeed; the data is only
+    /// reachable again once the host relocates it off the bad region.
+    pub fn fail_reads_permanently(&mut self, ext: Extent) {
+        if !ext.is_empty() {
+            self.unrecoverable.push(ext);
+        }
+    }
+
+    /// Registers a whole-band failure spanning `band`. Reads fail like
+    /// latent sector errors; the band is additionally reported through
+    /// [`FaultPlan::failed_bands`] so placement can fence it.
+    pub fn fail_band(&mut self, band: Extent) {
+        if !band.is_empty() {
+            self.failed_bands.push(band);
+        }
+    }
+
+    /// The registered whole-band failures, in registration order.
+    pub fn failed_bands(&self) -> &[Extent] {
+        &self.failed_bands
+    }
+
+    /// The registered latent sector errors, in registration order.
+    pub fn unrecoverable_extents(&self) -> &[Extent] {
+        &self.unrecoverable
+    }
+
+    /// Clears all persistent read faults (sector errors and bands).
+    pub fn clear_persistent_faults(&mut self) {
+        self.unrecoverable.clear();
+        self.failed_bands.clear();
+    }
+
+    /// Registers a fail-slow region: reads overlapping `ext` take
+    /// `multiplier`× their modelled service time (`multiplier >= 1`).
+    /// The read still succeeds — the fault shows up only in latency.
+    pub fn slow_reads(&mut self, ext: Extent, multiplier: u64) {
+        assert!(multiplier >= 1, "fail-slow multiplier must be at least 1");
+        if !ext.is_empty() && multiplier > 1 {
+            self.fail_slow.push((ext, multiplier));
+        }
+    }
+
+    /// Clears all fail-slow regions.
+    pub fn clear_fail_slow(&mut self) {
+        self.fail_slow.clear();
+    }
+
     /// Enables automatic copy-on-write disk snapshots every `k` writes
     /// (`k >= 1`). Snapshots accumulate on the disk until drained with
     /// [`crate::Disk::take_crash_snapshots`].
@@ -156,6 +222,25 @@ impl FaultPlan {
                 WriteFault::Torn { persist }
             }
         }
+    }
+
+    /// True when `ext` overlaps a latent sector error or a failed band:
+    /// the read must fail persistently, regardless of retries.
+    pub(crate) fn persistent_fault(&self, ext: Extent) -> bool {
+        let overlaps = |reg: &Extent| reg.offset.max(ext.offset) < reg.end().min(ext.end());
+        self.unrecoverable.iter().any(overlaps) || self.failed_bands.iter().any(overlaps)
+    }
+
+    /// The fail-slow latency multiplier for a read of `ext`: the largest
+    /// multiplier among overlapping fail-slow regions, or 1 when none
+    /// overlap. Deterministic — the same read always slows the same way.
+    pub(crate) fn fail_slow_factor(&self, ext: Extent) -> u64 {
+        self.fail_slow
+            .iter()
+            .filter(|(reg, _)| reg.offset.max(ext.offset) < reg.end().min(ext.end()))
+            .map(|&(_, m)| m)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Decides whether a read of `ext` fails transiently right now.
@@ -281,6 +366,42 @@ mod tests {
         let mut clean = vec![0u8; 64];
         assert_eq!(p.corrupt_buf(Extent::new(0, 64), &mut clean), 0);
         assert!(clean.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn persistent_faults_fail_every_overlapping_read() {
+        let mut p = FaultPlan::new(3);
+        p.fail_reads_permanently(Extent::new(4096, 512));
+        p.fail_band(Extent::new(1 << 20, 1 << 16));
+        // Overlap anywhere in the region fails, repeatedly.
+        for _ in 0..3 {
+            assert!(p.persistent_fault(Extent::new(4000, 200)));
+            assert!(p.persistent_fault(Extent::new(4500, 4096)));
+            assert!(p.persistent_fault(Extent::new((1 << 20) + 100, 8)));
+        }
+        // Adjacent-but-disjoint reads are fine.
+        assert!(!p.persistent_fault(Extent::new(0, 4096)));
+        assert!(!p.persistent_fault(Extent::new(4608, 100)));
+        assert_eq!(p.failed_bands().len(), 1);
+        assert_eq!(p.unrecoverable_extents().len(), 1);
+        p.clear_persistent_faults();
+        assert!(!p.persistent_fault(Extent::new(4096, 512)));
+        assert!(p.failed_bands().is_empty());
+    }
+
+    #[test]
+    fn fail_slow_factor_is_max_overlap_or_one() {
+        let mut p = FaultPlan::new(4);
+        assert_eq!(p.fail_slow_factor(Extent::new(0, 100)), 1);
+        p.slow_reads(Extent::new(1000, 1000), 4);
+        p.slow_reads(Extent::new(1500, 100), 9);
+        assert_eq!(p.fail_slow_factor(Extent::new(0, 100)), 1);
+        assert_eq!(p.fail_slow_factor(Extent::new(1100, 10)), 4);
+        assert_eq!(p.fail_slow_factor(Extent::new(1400, 200)), 9);
+        // Multiplier 1 registrations are no-ops.
+        p.clear_fail_slow();
+        p.slow_reads(Extent::new(1000, 1000), 1);
+        assert_eq!(p.fail_slow_factor(Extent::new(1100, 10)), 1);
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub use obs::{
     AllocEvent, EventTracer, LatencyHistogram, MetricsRegistry, Obs, ObsEvent, ObsEventKind,
     ObsLayer,
 };
-pub use stats::{FaultStats, IoKind, IoStats, KindCounters};
+pub use stats::{neutral_ratio, FaultStats, IoKind, IoStats, KindCounters};
 pub use timemodel::TimeModel;
 pub use trace::{TraceDir, TraceEvent, TraceRecorder};

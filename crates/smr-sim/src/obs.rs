@@ -88,6 +88,21 @@ pub enum ObsEventKind {
     ReadCorruption,
     /// Injected transient read error. a = offset, b = length.
     TransientReadError,
+    /// Injected persistent read error (latent sector error or failed
+    /// band). a = offset, b = length.
+    UnrecoverableRead,
+    /// Read slowed by an injected fail-slow region. a = offset,
+    /// b = latency multiplier applied.
+    FailSlowRead,
+    /// Scrub repaired a damaged file (bit-corrected blocks and/or a
+    /// targeted re-materialising compaction). a = file id, b = blocks
+    /// that needed correction.
+    ScrubRepair,
+    /// A file left the version as unreadable. a = file id, b = level.
+    FileQuarantined,
+    /// Placement fenced a band hosting a persistent fault off the free
+    /// list. a = band offset, b = band length.
+    BandQuarantine,
     /// Injected outright write failure. a = offset, b = length.
     InjectedWriteFailure,
     /// Garbage collection relocated a set. a = set id, b = bytes moved.
@@ -119,6 +134,11 @@ impl ObsEventKind {
             ObsEventKind::TornWrite => "torn-write",
             ObsEventKind::ReadCorruption => "read-corruption",
             ObsEventKind::TransientReadError => "transient-read-error",
+            ObsEventKind::UnrecoverableRead => "unrecoverable-read",
+            ObsEventKind::FailSlowRead => "fail-slow-read",
+            ObsEventKind::ScrubRepair => "scrub-repair",
+            ObsEventKind::FileQuarantined => "file-quarantined",
+            ObsEventKind::BandQuarantine => "band-quarantine",
             ObsEventKind::InjectedWriteFailure => "injected-write-failure",
             ObsEventKind::GcRelocate => "gc-relocate",
             ObsEventKind::WriteSlowdown => "write-slowdown",

@@ -93,6 +93,12 @@ pub struct FaultStats {
     pub read_corruptions: u64,
     /// Injected transient read errors (`DiskError::TransientRead`).
     pub transient_read_errors: u64,
+    /// Injected persistent read errors (`DiskError::UnrecoverableRead`):
+    /// latent sector errors and failed bands.
+    pub unrecoverable_reads: u64,
+    /// Reads slowed by an injected fail-slow region (the read succeeded
+    /// but took its multiplier times the modelled service time).
+    pub fail_slow_reads: u64,
     /// Read retries issued by the host after a transient error.
     pub read_retries: u64,
     /// Checksum validation failures detected by the host (WAL fragments,
@@ -107,6 +113,8 @@ impl FaultStats {
             || self.torn_writes != 0
             || self.read_corruptions != 0
             || self.transient_read_errors != 0
+            || self.unrecoverable_reads != 0
+            || self.fail_slow_reads != 0
             || self.read_retries != 0
             || self.checksum_failures != 0
     }
@@ -196,26 +204,28 @@ impl IoStats {
 
     /// Write amplification of the LSM-tree (Table I: `WA`).
     pub fn wa(&self) -> f64 {
-        ratio(self.lsm_written(), self.user_payload)
+        neutral_ratio(self.lsm_written(), self.user_payload)
     }
 
     /// Auxiliary write amplification of the SMR drive (Table I: `AWA`),
     /// computed over LSM traffic as in the paper.
     pub fn awa(&self) -> f64 {
-        ratio(self.lsm_device_written(), self.lsm_written())
+        neutral_ratio(self.lsm_device_written(), self.lsm_written())
     }
 
     /// Multiplicative overall write amplification (Table I: `MWA`).
     pub fn mwa(&self) -> f64 {
-        ratio(self.lsm_device_written(), self.user_payload)
+        neutral_ratio(self.lsm_device_written(), self.user_payload)
     }
 }
 
-/// Amplification ratio with a defined zero-denominator result. A store
-/// opened and closed without writes has no traffic to amplify; reporting
-/// the neutral 1.0 (rather than 0.0 or NaN) keeps `MWA = WA × AWA` exact
-/// and keeps exported metrics CSVs free of NaN.
-fn ratio(num: u64, den: u64) -> f64 {
+/// Ratio with a defined zero-denominator result: the neutral 1.0. A
+/// store opened and closed without traffic has nothing to amplify and
+/// nothing to miss; reporting 1.0 (rather than 0.0 or NaN) keeps
+/// `MWA = WA × AWA` exact, keeps exported metrics CSVs free of NaN, and
+/// reads as "perfect" for hit ratios — the convention every exported
+/// ratio in the workspace follows (see DESIGN.md, "Ratio conventions").
+pub fn neutral_ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         1.0
     } else {
@@ -260,11 +270,13 @@ impl fmt::Display for IoStats {
             let ft = &self.faults;
             writeln!(
                 f,
-                "faults: injected-write {}  torn {}  read-corrupt {}  transient-read {}  retries {}  checksum-fail {}",
+                "faults: injected-write {}  torn {}  read-corrupt {}  transient-read {}  unrecoverable {}  fail-slow {}  retries {}  checksum-fail {}",
                 ft.injected_write_failures,
                 ft.torn_writes,
                 ft.read_corruptions,
                 ft.transient_read_errors,
+                ft.unrecoverable_reads,
+                ft.fail_slow_reads,
                 ft.read_retries,
                 ft.checksum_failures
             )?;

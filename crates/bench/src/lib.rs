@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod metrics_run;
+pub mod replicate_run;
 pub mod scale;
 pub mod scrub_run;
 pub mod serve_run;

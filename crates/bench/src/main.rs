@@ -22,6 +22,8 @@
 //!   --serve-check F  validate a previously written serve artifact
 //!   --scrub-out F    run the durability-under-latent-errors sweep, write artifact F
 //!   --scrub-check F  validate a previously written scrub artifact
+//!   --replicate-out F    run the replication/failover sweep, write artifact F
+//!   --replicate-check F  validate a previously written replication artifact
 //! ```
 //!
 //! `serve` as an experiment name runs the sweep and prints the latency
@@ -40,6 +42,8 @@ struct MetricsArgs {
     serve_check: Option<String>,
     scrub_out: Option<String>,
     scrub_check: Option<String>,
+    replicate_out: Option<String>,
+    replicate_check: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
@@ -95,6 +99,14 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--scrub-check" => {
                 i += 1;
                 metrics.scrub_check = args.get(i).cloned();
+            }
+            "--replicate-out" => {
+                i += 1;
+                metrics.replicate_out = args.get(i).cloned();
+            }
+            "--replicate-check" => {
+                i += 1;
+                metrics.replicate_check = args.get(i).cloned();
             }
             other => experiments.push(other.to_string()),
         }
@@ -239,6 +251,38 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.replicate_out {
+        let started = std::time::Instant::now();
+        match bench::replicate_run::replicate_sweep(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write replication artifact");
+                println!(
+                    "wrote replication artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("replication sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.replicate_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read replication artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::replicate_run::check_replicate_json(&content);
+        if problems.is_empty() {
+            println!("replication artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("replication artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -249,6 +293,8 @@ fn main() {
         || metrics.serve_check.is_some()
         || metrics.scrub_out.is_some()
         || metrics.scrub_check.is_some()
+        || metrics.replicate_out.is_some()
+        || metrics.replicate_check.is_some()
     {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
@@ -260,6 +306,7 @@ fn main() {
         eprintln!("       seal-bench --metrics-out FILE | --metrics-check FILE [options]");
         eprintln!("       seal-bench --serve-out FILE | --serve-check FILE [options]");
         eprintln!("       seal-bench --scrub-out FILE | --scrub-check FILE [options]");
+        eprintln!("       seal-bench --replicate-out FILE | --replicate-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

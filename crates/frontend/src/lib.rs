@@ -56,8 +56,14 @@ pub struct ServeConfig {
     /// error, corrupt block). Each retry waits `retry_backoff_ns` (then
     /// doubling) of simulated time before reissuing.
     pub read_retries: u32,
-    /// Backoff before the first read retry, ns; doubles per retry.
+    /// Backoff before the first read retry, ns; doubles per retry up to
+    /// [`ServeConfig::retry_backoff_max_ns`].
     pub retry_backoff_ns: u64,
+    /// Cap on the doubling retry backoff, ns: long fault bursts (or a
+    /// replication failover holding reads off) must not balloon a
+    /// single wait past the sweep horizon. Values below
+    /// `retry_backoff_ns` clamp up to it.
+    pub retry_backoff_max_ns: u64,
     /// Failed point reads a client tolerates before giving up and
     /// abandoning the rest of its operations (degraded-mode SLO: a
     /// client facing a broken shard walks away rather than hammering
@@ -89,6 +95,7 @@ impl ServeConfig {
             idle_compaction: true,
             read_retries: 2,
             retry_backoff_ns: 500_000,
+            retry_backoff_max_ns: 8_000_000,
             client_error_budget: 64,
             idle_scrub_bytes: 0,
         }
@@ -288,13 +295,24 @@ struct ReadOutcome {
     failed: bool,
 }
 
+/// Capped exponential backoff: `base_ns * 2^attempt` (attempt 0 is the
+/// first wait), saturating, clamped to `max_ns` — with both knobs
+/// floored at 1 ns so a zero config cannot spin the retry loop without
+/// advancing the simulated clock. Shared by the degraded read path and
+/// by replication failover clients modelling redirect retries.
+pub fn bounded_backoff_ns(base_ns: u64, max_ns: u64, attempt: u32) -> u64 {
+    let base = base_ns.max(1);
+    let cap = max_ns.max(base);
+    base.saturating_mul(1u64 << attempt.min(62)).min(cap)
+}
+
 /// A point read that survives device faults: on error, back off on the
-/// simulated clock (doubling) and reissue, up to `cfg.read_retries`
-/// times. A read that keeps failing is served as a miss rather than
-/// tearing down the serving loop — availability degrades, the server
-/// stays up, and the scrubber repairs the damage out-of-band.
+/// simulated clock (doubling, capped at `cfg.retry_backoff_max_ns`) and
+/// reissue, up to `cfg.read_retries` times. A read that keeps failing
+/// is served as a miss rather than tearing down the serving loop —
+/// availability degrades, the server stays up, and the scrubber repairs
+/// the damage out-of-band.
 fn degraded_get(store: &mut Store, cfg: &ServeConfig, key: &[u8]) -> ReadOutcome {
-    let mut backoff = cfg.retry_backoff_ns.max(1);
     let mut attempt = 0u32;
     loop {
         match store.get(key) {
@@ -306,9 +324,11 @@ fn degraded_get(store: &mut Store, cfg: &ServeConfig, key: &[u8]) -> ReadOutcome
                 }
             }
             Err(_) if attempt < cfg.read_retries => {
+                advance_clock(
+                    store,
+                    bounded_backoff_ns(cfg.retry_backoff_ns, cfg.retry_backoff_max_ns, attempt),
+                );
                 attempt += 1;
-                advance_clock(store, backoff);
-                backoff = backoff.saturating_mul(2);
             }
             Err(_) => {
                 return ReadOutcome {
@@ -800,6 +820,64 @@ mod tests {
             .expect("preload left no tables")
             .clone();
         store.db.ctx().lock().fs.file_extent(f.id).unwrap()
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        // Doubles from the base, clamps at the cap, never overflows.
+        assert_eq!(bounded_backoff_ns(500_000, 2_000_000, 0), 500_000);
+        assert_eq!(bounded_backoff_ns(500_000, 2_000_000, 1), 1_000_000);
+        assert_eq!(bounded_backoff_ns(500_000, 2_000_000, 2), 2_000_000);
+        assert_eq!(bounded_backoff_ns(500_000, 2_000_000, 3), 2_000_000);
+        assert_eq!(bounded_backoff_ns(500_000, 2_000_000, 200), 2_000_000);
+        assert_eq!(bounded_backoff_ns(u64::MAX, u64::MAX, 63), u64::MAX);
+        // A cap below the base clamps up to the base; zeros floor at 1.
+        assert_eq!(bounded_backoff_ns(500_000, 1, 5), 500_000);
+        assert_eq!(bounded_backoff_ns(0, 0, 0), 1);
+        assert_eq!(bounded_backoff_ns(0, 0, 10), 1);
+    }
+
+    #[test]
+    fn degraded_reads_wait_capped_backoff_on_the_simulated_clock() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let mut store = preloaded(StoreKind::SealDb, &gen, 200);
+        let ext = largest_file_extent(&store);
+        // Persistent read errors: every retry fails, so the degraded
+        // read path walks the full backoff schedule.
+        store
+            .db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .faults_mut()
+            .fail_reads_permanently(smr_sim::Extent::new(ext.offset, ext.len));
+        let mut cfg = ServeConfig::new(
+            WorkloadSpec::c(),
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            1,
+            1,
+            200,
+        );
+        cfg.read_retries = 10;
+        cfg.retry_backoff_ns = 1_000_000;
+        cfg.retry_backoff_max_ns = 2_000_000;
+        let key = gen.key(0);
+        let t0 = store.clock_ns();
+        let out = degraded_get(&mut store, &cfg, &key);
+        assert!(out.failed);
+        let waited = store.clock_ns() - t0;
+        // Uncapped doubling would wait 1+2+4+...+512 = 1023 ms; the cap
+        // bounds the schedule at 1 + 2 + 8*2 = 19 ms (plus read time).
+        let capped_total = 19_000_000u64;
+        assert!(
+            waited >= capped_total,
+            "backoff waits missing: {waited} < {capped_total}"
+        );
+        assert!(
+            waited < 100_000_000,
+            "cap not applied: waited {waited} ns, uncapped schedule is ~1s"
+        );
     }
 
     #[test]

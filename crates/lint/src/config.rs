@@ -114,6 +114,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/sealdb/src/**",
             "crates/bench/src/**",
             "crates/frontend/src/**",
+            "crates/replica/src/**",
         ],
         // Crash-recovery paths must degrade to errors, never panic: a
         // panic during reopen turns a recoverable torn tail into an
@@ -146,6 +147,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/smrdb/src/**",
             "crates/workloads/src/**",
             "crates/frontend/src/**",
+            "crates/replica/src/**",
             "crates/lint/src/**",
             "src/lib.rs",
         ],
@@ -214,6 +216,26 @@ mod tests {
             assert!(
                 default_scope(rule).iter().any(|p| path_matches(p, scrub)),
                 "{rule:?} does not cover the scrub module"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_crate_is_in_determinism_and_api_rule_scopes() {
+        // Replication feeds the BENCH_pr6 artifact directly: a wall
+        // clock, ambient RNG, or unordered iteration in the cluster
+        // would break byte-identical failover replays, and its public
+        // API is a library surface other crates build on.
+        let replica = "crates/replica/src/lib.rs";
+        for rule in [
+            Rule::NoWallClock,
+            Rule::NoAmbientRandomness,
+            Rule::NoUnorderedIteration,
+            Rule::PubItemDocs,
+        ] {
+            assert!(
+                default_scope(rule).iter().any(|p| path_matches(p, replica)),
+                "{rule:?} does not cover the replica crate"
             );
         }
     }

@@ -568,6 +568,58 @@ impl DbCore {
         Ok(())
     }
 
+    /// Applies a batch shipped by a replication primary, keeping the
+    /// primary-assigned sequence range instead of allocating a local
+    /// one — the replay-from-sequence half of WAL shipping. Idempotent:
+    /// a batch whose range is already at or below the local last
+    /// sequence is skipped and `Ok(false)` returned, so duplicate
+    /// frames (retransmits, catch-up overlap) are harmless. A batch
+    /// that would open a sequence gap or straddle the applied boundary
+    /// is refused — the shipping layer must deliver frames in order.
+    pub fn apply_replicated(&mut self, batch: WriteBatch) -> Result<bool> {
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let t0 = self.clock_ns();
+        let first = batch.sequence();
+        let last = first + u64::from(batch.count()) - 1;
+        let applied = self.versions.last_sequence();
+        if last <= applied {
+            return Ok(false);
+        }
+        if first != applied + 1 {
+            return Err(crate::error::Error::InvalidArgument(format!(
+                "replicated batch covers sequences {first}..={last} but local state is at {applied}"
+            )));
+        }
+        if self.opts.deferred_compaction {
+            self.make_room_for_write()?;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.add_record(batch.rep());
+            if wal.pending_len() >= self.opts.wal_buffer_bytes.max(1) {
+                let bytes = wal.take();
+                let mut guard = self.ctx.lock();
+                let s0 = guard.fs.disk().clock_ns();
+                guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
+                let s1 = guard.fs.disk().clock_ns();
+                let obs = guard.fs.disk_mut().obs_mut();
+                obs.latency(ObsLayer::Wal, "sync_ns", s1 - s0);
+                obs.counter_add(ObsLayer::Wal, "sync_bytes", bytes.len() as u64);
+            }
+        }
+        for (s, ty, key, value) in batch.iter() {
+            self.mem.add(s, ty, key, value);
+        }
+        self.versions.set_last_sequence(last);
+        self.ctx.lock().fs.disk_mut().stats_mut().user_payload += batch.payload_bytes();
+        if !self.opts.deferred_compaction {
+            self.maybe_flush_and_compact()?;
+        }
+        self.obs_latency(ObsLayer::Replication, "apply_ns", self.clock_ns() - t0);
+        Ok(true)
+    }
+
     /// Forces the memtable to flush and compactions to quiesce (used at
     /// the end of load phases).
     pub fn flush(&mut self) -> Result<()> {
@@ -1213,6 +1265,52 @@ mod tests {
             format!("key{:012}", i).into_bytes(),
             format!("value-{i:06}-{}", "x".repeat(100)).into_bytes(),
         )
+    }
+
+    #[test]
+    fn apply_replicated_preserves_sequence_and_is_idempotent() {
+        let mut primary = open_db(64 << 10);
+        let mut replica = open_db(64 << 10);
+        // Ship three batches primary -> replica, preserving sequences.
+        let mut frames = Vec::new();
+        for round in 0..3u64 {
+            let mut b = WriteBatch::new();
+            for i in 0..4u64 {
+                let (k, v) = kv(round * 4 + i);
+                b.put(&k, &v);
+            }
+            let seq = primary.last_sequence() + 1;
+            let mut shipped = WriteBatch::decode(b.rep()).unwrap();
+            shipped.set_sequence(seq);
+            primary.write(b).unwrap();
+            frames.push(shipped);
+        }
+        for f in &frames {
+            assert!(replica
+                .apply_replicated(WriteBatch::decode(f.rep()).unwrap())
+                .unwrap());
+        }
+        assert_eq!(replica.last_sequence(), primary.last_sequence());
+        // Duplicate frames are skipped, not re-applied.
+        let dup = WriteBatch::decode(frames[2].rep()).unwrap();
+        assert!(!replica.apply_replicated(dup).unwrap());
+        assert_eq!(replica.last_sequence(), primary.last_sequence());
+        // A gap is refused.
+        let mut gap = WriteBatch::new();
+        gap.put(b"gap", b"gap");
+        gap.set_sequence(replica.last_sequence() + 5);
+        assert!(replica.apply_replicated(gap).is_err());
+        // The replica serves the replicated data, including after reopen
+        // (the applied frames went through its own WAL).
+        for i in 0..12 {
+            let (k, v) = kv(i);
+            assert_eq!(replica.get(&k).unwrap(), Some(v));
+        }
+        let mut replica = replica.reopen().unwrap();
+        for i in 0..12 {
+            let (k, v) = kv(i);
+            assert_eq!(replica.get(&k).unwrap(), Some(v));
+        }
     }
 
     #[test]

@@ -61,3 +61,4 @@ pub use error::{Error, Result};
 pub use filestore::{CrashImage, FileStore};
 pub use policy::{GcConfig, GcReport, PerFilePolicy, PlacementPolicy, SetStats};
 pub use types::{FileId, SequenceNumber, ValueType};
+pub use wal::{LogWriter, WalStream};

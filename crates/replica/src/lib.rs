@@ -1,0 +1,1078 @@
+//! # seal-replica — deterministic primary/replica replication
+//!
+//! Runs one primary [`Store`] and N replica [`Store`]s on the shared
+//! simulated clock, connected by a seeded [`NetModel`]. The primary
+//! ships its WAL as framed records over the network; two modes decide
+//! what a replica does with a received frame:
+//!
+//! * [`ShipMode::WalApply`] — the replica applies every batch through
+//!   its own write path ([`Store::apply_replicated`]), preserving the
+//!   primary-assigned sequence numbers: a hot standby with a tiny
+//!   replay tail and the fastest takeover.
+//! * [`ShipMode::IndexLazy`] — the replica only appends the shipped
+//!   frames durably to a dedicated ship log and materialises nothing,
+//!   after the RDMA index-replication design (PAPERS.md): near-zero
+//!   steady-state replica CPU, paid back at promotion when the
+//!   recovery path replays the whole ship log.
+//!
+//! Acked-write semantics are quorum-configurable ([`AckPolicy`]): under
+//! `Quorum`/`All`, a write returns only once enough replicas hold its
+//! frame, so a primary kill can lose no acked write (RPO = 0); under
+//! `PrimaryOnly`, frames are shipped asynchronously in batches and a
+//! kill deterministically loses the unshipped tail — the baseline the
+//! sweeps contrast against.
+//!
+//! Failover composes the earlier PRs: detection timeout, a fencing
+//! round with the surviving voters, promotion of the most-caught-up
+//! unpartitioned replica via the PR 1 crash-image recovery path, and a
+//! client redirect modelled with `seal-front`'s bounded retry backoff.
+//! The old primary rejoins as a replica by catch-up streaming of the
+//! full replicated log. Everything rides the simulated clock: the same
+//! configuration and seed replays byte-identically.
+
+use lsm_core::{Error, LogWriter, Result, ValueType, WalStream, WriteBatch};
+use sealdb::{Store, StoreConfig, StoreKind};
+use smr_sim::{IoKind, NetModel, ObsLayer};
+use std::collections::BTreeMap;
+
+/// File id of the replica-side ship log in [`ShipMode::IndexLazy`].
+/// High above any id the engine allocates, so recovery's "replay every
+/// log at or past the current WAL id" sweep always includes it.
+const SHIP_LOG_ID: lsm_core::FileId = 1 << 40;
+
+/// Upper bound on modelled client redirect retries during one failover.
+const MAX_CLIENT_RETRIES: u32 = 10_000;
+
+/// What the primary ships and what a replica does with it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShipMode {
+    /// Replicas apply every shipped batch through their own WAL and
+    /// memtable immediately (hot standby).
+    WalApply,
+    /// Replicas append shipped frames to a durable ship log and defer
+    /// all materialisation to promotion time (lazy rebuild).
+    IndexLazy,
+}
+
+impl ShipMode {
+    /// Stable lowercase name used in artifact cells.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShipMode::WalApply => "wal",
+            ShipMode::IndexLazy => "index",
+        }
+    }
+}
+
+/// When a write is acknowledged to the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Acked as soon as the primary's own WAL holds it; frames ship
+    /// asynchronously in `ship_every` batches. A primary kill loses
+    /// the unshipped tail.
+    PrimaryOnly,
+    /// Acked once `k` replicas hold the frame (and, by in-order
+    /// delivery, every earlier frame — the prefix property that makes
+    /// the most-caught-up replica hold every acked write).
+    Quorum(usize),
+    /// Acked only when every live replica holds the frame.
+    All,
+}
+
+impl AckPolicy {
+    /// Stable lowercase name used in artifact cells.
+    pub fn name(self) -> &'static str {
+        match self {
+            AckPolicy::PrimaryOnly => "primary",
+            AckPolicy::Quorum(_) => "quorum",
+            AckPolicy::All => "all",
+        }
+    }
+}
+
+/// Configuration of one replication cluster.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// Which store kind every node runs.
+    pub kind: StoreKind,
+    /// Number of replicas (nodes are `0..=replicas`, node 0 is the
+    /// initial primary).
+    pub replicas: usize,
+    /// What ships to replicas.
+    pub mode: ShipMode,
+    /// When writes are acknowledged.
+    pub ack: AckPolicy,
+    /// Determinism seed for the network and every node store.
+    pub seed: u64,
+    /// SSTable size of every node store.
+    pub sstable_size: u64,
+    /// Disk capacity of every node store.
+    pub disk_capacity: u64,
+    /// Base one-way link latency, ns.
+    pub link_latency_ns: u64,
+    /// Per-message drop probability, permille (drops delay via
+    /// retransmit, they never lose frames).
+    pub drop_permille: u64,
+    /// Time from a primary kill to the cluster noticing it, ns.
+    pub detect_timeout_ns: u64,
+    /// Under [`AckPolicy::PrimaryOnly`], ship after this many buffered
+    /// writes.
+    pub ship_every: usize,
+    /// Client redirect retry backoff base, ns (see
+    /// [`seal_front::bounded_backoff_ns`]).
+    pub retry_backoff_ns: u64,
+    /// Client redirect retry backoff cap, ns.
+    pub retry_backoff_max_ns: u64,
+}
+
+impl ReplicaConfig {
+    /// A SEALDB cluster with `replicas` replicas and quorum-1 acks.
+    pub fn new(replicas: usize, sstable_size: u64, disk_capacity: u64) -> Self {
+        ReplicaConfig {
+            kind: StoreKind::SealDb,
+            replicas,
+            mode: ShipMode::WalApply,
+            ack: AckPolicy::Quorum(1),
+            seed: 0x5EA1C1D5,
+            sstable_size,
+            disk_capacity,
+            link_latency_ns: 1_000_000,
+            drop_permille: 0,
+            detect_timeout_ns: 10_000_000,
+            ship_every: 8,
+            retry_backoff_ns: 500_000,
+            retry_backoff_max_ns: 8_000_000,
+        }
+    }
+}
+
+/// Lifetime counters of one cluster run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Key/value entries acknowledged to clients.
+    pub acked_writes: u64,
+    /// Frames shipped onto the network.
+    pub shipped_frames: u64,
+    /// Total shipped frame bytes (per frame, not per link).
+    pub shipped_bytes: u64,
+    /// Frames applied (or durably logged) on replicas.
+    pub applied_frames: u64,
+    /// Frames that died in the primary's async ship buffer at a kill.
+    pub lost_unshipped_frames: u64,
+    /// In-flight frames fenced off at a promotion.
+    pub fenced_inflight_frames: u64,
+    /// Frames replayed to a rejoining node by catch-up streaming.
+    pub catchup_frames: u64,
+    /// Failovers performed.
+    pub failovers: u64,
+}
+
+/// What one failover cost, by phase. All times simulated ns.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverReport {
+    /// Node index promoted to primary.
+    pub promoted: usize,
+    /// Recovery time objective actually measured: detection + fencing
+    /// + replay + client redirect.
+    pub rto_ns: u64,
+    /// Detection timeout charged.
+    pub detect_ns: u64,
+    /// Fencing round trips with the surviving voters.
+    pub fence_ns: u64,
+    /// Replay of the promoted node's WAL / ship-log tail.
+    pub replay_ns: u64,
+    /// Client redirect round trip to the new primary.
+    pub redirect_ns: u64,
+    /// WAL records the promotion recovery replayed.
+    pub replayed_records: u64,
+    /// Bounded-backoff retries a redirected client issued while the
+    /// new primary came up.
+    pub client_retries: u64,
+}
+
+/// Result of checking every acked write against the current primary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Distinct keys acknowledged to clients.
+    pub acked_writes: u64,
+    /// Acked keys the current primary no longer serves correctly.
+    pub acked_lost: u64,
+}
+
+/// A frame delivered to (but not yet processed by) one replica.
+#[derive(Debug)]
+struct PendingFrame {
+    /// Effective receive time: delivery, deferred behind earlier frames
+    /// so application is always in shipping order.
+    ready_ns: u64,
+    /// Highest sequence number the frame carries.
+    last_seq: u64,
+    /// Framed WAL bytes.
+    bytes: Vec<u8>,
+}
+
+/// One entry of the replicated log, kept for catch-up streaming.
+#[derive(Clone, Debug)]
+struct HistFrame {
+    last_seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// A write acked under `PrimaryOnly` but not yet shipped.
+#[derive(Debug)]
+struct Unshipped {
+    rep: Vec<u8>,
+    last_seq: u64,
+}
+
+/// One cluster node: a store (None once killed) plus its receive state.
+#[derive(Debug)]
+struct Node {
+    store: Option<Store>,
+    /// Delivered-but-unprocessed frames, in shipping order.
+    pending: BTreeMap<u64, PendingFrame>,
+    /// Key for the next pending insertion (monotone).
+    next_pending: u64,
+    /// Effective receive time of the last frame shipped to this node —
+    /// the in-order-delivery hold-back watermark.
+    eff_tail: u64,
+    /// Streaming reassembly of the shipped WAL byte stream.
+    stream: WalStream,
+    /// Highest sequence this node holds durably (applied or logged).
+    durable_seq: u64,
+}
+
+impl Node {
+    fn fresh(store: Store) -> Node {
+        Node {
+            store: Some(store),
+            pending: BTreeMap::new(),
+            next_pending: 0,
+            eff_tail: 0,
+            stream: WalStream::new(),
+            durable_seq: 0,
+        }
+    }
+}
+
+/// A primary plus replicas on one simulated clock and network.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ReplicaConfig,
+    nodes: Vec<Node>,
+    primary: usize,
+    net: NetModel,
+    /// Cluster-logical time: the primary's acked frontier. Node disk
+    /// clocks are synced forward to this before operating on them.
+    now_ns: u64,
+    /// Monotone message-id source for network sampling.
+    msg_seq: u64,
+    /// The shared replicated-log writer. Survives failover: the new
+    /// primary continues the byte stream at the position every live
+    /// replica has already received up to.
+    ship_writer: LogWriter,
+    /// Full replicated log, for rejoin catch-up streaming.
+    history: Vec<HistFrame>,
+    /// Writes acked under `PrimaryOnly` awaiting an async ship.
+    unshipped: Vec<Unshipped>,
+    /// Every acked key and the value the client was promised
+    /// (`None` = deletion), for RPO audits.
+    acked: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Lifetime counters.
+    pub stats: ClusterStats,
+}
+
+impl Cluster {
+    /// Builds a cluster of `cfg.replicas + 1` fresh stores; node 0 is
+    /// the primary.
+    pub fn new(cfg: ReplicaConfig) -> Result<Cluster> {
+        assert!(cfg.replicas >= 1, "a cluster needs at least one replica");
+        let mut net = NetModel::new(cfg.seed ^ 0x05EA_14E7, cfg.link_latency_ns);
+        net.set_drop_permille(cfg.drop_permille);
+        let mut cluster = Cluster {
+            nodes: Vec::new(),
+            primary: 0,
+            net,
+            now_ns: 0,
+            msg_seq: 0,
+            ship_writer: LogWriter::new(),
+            history: Vec::new(),
+            unshipped: Vec::new(),
+            acked: BTreeMap::new(),
+            stats: ClusterStats::default(),
+            cfg,
+        };
+        for i in 0..=cluster.cfg.replicas {
+            let store = cluster.build_store(i)?;
+            cluster.nodes.push(Node::fresh(store));
+        }
+        Ok(cluster)
+    }
+
+    fn build_store(&self, idx: usize) -> Result<Store> {
+        let mut sc = StoreConfig::new(self.cfg.kind, self.cfg.sstable_size, self.cfg.disk_capacity);
+        sc.seed = self
+            .cfg
+            .seed
+            .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // An acked write must survive the node's own reopen.
+        sc.sync_writes = true;
+        sc.build()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.cfg
+    }
+
+    /// Current primary node index.
+    pub fn primary_index(&self) -> usize {
+        self.primary
+    }
+
+    /// Cluster-logical simulated time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The network model (schedule partitions here before driving load).
+    pub fn net_mut(&mut self) -> &mut NetModel {
+        &mut self.net
+    }
+
+    /// Direct access to the primary's store — the hook fault-injection
+    /// tests use to plant device damage or run scrub steps mid-stream.
+    pub fn primary_store_mut(&mut self) -> &mut Store {
+        match self.nodes[self.primary].store.as_mut() {
+            Some(s) => s,
+            None => unreachable!("primary {} has no store", self.primary),
+        }
+    }
+
+    /// Highest sequence node `idx` holds durably.
+    pub fn durable_seq(&self, idx: usize) -> u64 {
+        self.nodes[idx].durable_seq
+    }
+
+    /// True while node `idx` has a live store.
+    pub fn alive(&self, idx: usize) -> bool {
+        self.nodes[idx].store.is_some()
+    }
+
+    fn next_msg(&mut self) -> u64 {
+        self.msg_seq += 1;
+        self.msg_seq
+    }
+
+    /// Virtual node index used for client-side latency sampling.
+    fn client_node(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Advances node `idx`'s disk clock to at least `t_ns`.
+    fn sync_node_clock(&mut self, idx: usize, t_ns: u64) {
+        if let Some(store) = self.nodes[idx].store.as_mut() {
+            let c = store.clock_ns();
+            if t_ns > c {
+                store.db.ctx().lock().fs.disk_mut().advance_ns(t_ns - c);
+            }
+        }
+    }
+
+    // ----- write path -----
+
+    /// Inserts one key/value pair under the configured ack policy.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.put(key, value);
+        self.write_batch(b)
+    }
+
+    /// Deletes a key under the configured ack policy.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key);
+        self.write_batch(b)
+    }
+
+    /// Applies a batch and returns once the ack policy is satisfied;
+    /// the batch's entries are then recorded as promised to the client
+    /// (the RPO audit set).
+    pub fn write_batch(&mut self, batch: WriteBatch) -> Result<()> {
+        self.write_inner(batch, true)
+    }
+
+    /// Applies and ships a batch but returns *before* the ack — an
+    /// in-flight group commit. Its entries join no audit set: if the
+    /// primary dies now, the batch may legitimately be lost, but it
+    /// must be lost or kept atomically.
+    pub fn write_unacked(&mut self, batch: WriteBatch) -> Result<()> {
+        self.write_inner(batch, false)
+    }
+
+    fn write_inner(&mut self, mut batch: WriteBatch, record_ack: bool) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Opportunistically drain replica deliveries that are due.
+        self.pump_all(self.now_ns)?;
+        let p = self.primary;
+        self.sync_node_clock(p, self.now_ns);
+        let (rep, last, entries, clock) = {
+            let store = self.nodes[p].store.as_mut().ok_or_else(|| {
+                Error::InvalidArgument(format!("primary node {p} is dead; cannot write"))
+            })?;
+            let first = store.last_sequence() + 1;
+            batch.set_sequence(first);
+            let last = first + u64::from(batch.count()) - 1;
+            let rep = batch.rep().to_vec();
+            let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = batch
+                .iter()
+                .map(|(_, ty, k, v)| {
+                    let promised = match ty {
+                        ValueType::Value => Some(v.to_vec()),
+                        ValueType::Deletion => None,
+                    };
+                    (k.to_vec(), promised)
+                })
+                .collect();
+            store.write(batch)?;
+            (rep, last, entries, store.clock_ns())
+        };
+        self.now_ns = self.now_ns.max(clock);
+        match self.cfg.ack {
+            AckPolicy::PrimaryOnly => {
+                self.unshipped.push(Unshipped {
+                    rep,
+                    last_seq: last,
+                });
+                if self.unshipped.len() >= self.cfg.ship_every.max(1) {
+                    self.flush_unshipped()?;
+                }
+            }
+            AckPolicy::Quorum(_) | AckPolicy::All => {
+                let mut acks = self.ship_rep(&rep, last);
+                let need = match self.cfg.ack {
+                    AckPolicy::Quorum(k) => k.max(1),
+                    _ => self.live_replicas().len(),
+                };
+                if acks.len() < need {
+                    return Err(Error::InvalidArgument(format!(
+                        "ack policy needs {need} replica acks but only {} replicas can answer",
+                        acks.len()
+                    )));
+                }
+                acks.sort_unstable();
+                self.now_ns = self.now_ns.max(acks[need - 1]);
+            }
+        }
+        if record_ack {
+            self.stats.acked_writes += entries.len() as u64;
+            for (k, v) in entries {
+                self.acked.insert(k, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn live_replicas(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| i != self.primary && self.nodes[i].store.is_some())
+            .collect()
+    }
+
+    /// Frames `rep` through the shared replicated log and ships it to
+    /// every live replica. Returns the ack arrival times that will
+    /// eventually reach the primary (one per replica that can answer).
+    fn ship_rep(&mut self, rep: &[u8], last_seq: u64) -> Vec<u64> {
+        self.ship_writer.add_record(rep);
+        let bytes = self.ship_writer.take();
+        self.history.push(HistFrame {
+            last_seq,
+            bytes: bytes.clone(),
+        });
+        self.stats.shipped_frames += 1;
+        self.stats.shipped_bytes += bytes.len() as u64;
+        let p = self.primary;
+        let send = self.now_ns;
+        let mut acks = Vec::new();
+        for r in self.live_replicas() {
+            let msg = self.next_msg();
+            let ack_msg = self.next_msg();
+            let Some(d) = self.net.delivery_ns(p, r, msg, send) else {
+                continue; // unreachable forever: no ack, no pending frame
+            };
+            let node = &mut self.nodes[r];
+            // A frame is processable only after every earlier frame:
+            // the receiver holds back out-of-order deliveries.
+            let eff = node.eff_tail.max(d);
+            node.eff_tail = eff;
+            let key = node.next_pending;
+            node.next_pending += 1;
+            node.pending.insert(
+                key,
+                PendingFrame {
+                    ready_ns: eff,
+                    last_seq,
+                    bytes: bytes.clone(),
+                },
+            );
+            if let Some(a) = self.net.delivery_ns(r, p, ack_msg, eff) {
+                acks.push(a);
+            }
+        }
+        acks
+    }
+
+    /// Ships everything in the async buffer (PrimaryOnly mode).
+    fn flush_unshipped(&mut self) -> Result<()> {
+        let frames = std::mem::take(&mut self.unshipped);
+        for f in frames {
+            self.ship_rep(&f.rep, f.last_seq);
+        }
+        Ok(())
+    }
+
+    // ----- replica receive path -----
+
+    /// Processes every delivery already due at the cluster clock. The
+    /// write path does this opportunistically; call it before inspecting
+    /// replica state (e.g. [`Cluster::durable_seq`]) mid-stream.
+    pub fn settle(&mut self) -> Result<()> {
+        self.pump_all(self.now_ns)
+    }
+
+    /// Processes every due delivery on every live replica up to `t_ns`.
+    fn pump_all(&mut self, t_ns: u64) -> Result<()> {
+        for r in self.live_replicas() {
+            self.pump_node(r, t_ns)?;
+        }
+        Ok(())
+    }
+
+    /// Processes node `idx`'s pending frames with `ready_ns <= t_ns`,
+    /// in shipping order.
+    fn pump_node(&mut self, idx: usize, t_ns: u64) -> Result<()> {
+        loop {
+            let due = match self.nodes[idx].pending.first_key_value() {
+                Some((&key, frame)) if frame.ready_ns <= t_ns => key,
+                _ => break,
+            };
+            if let Some(frame) = self.nodes[idx].pending.remove(&due) {
+                self.apply_frame(idx, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one received frame on node `idx` at its ready time.
+    fn apply_frame(&mut self, idx: usize, frame: PendingFrame) -> Result<()> {
+        self.sync_node_clock(idx, frame.ready_ns);
+        let node = &mut self.nodes[idx];
+        let store = node
+            .store
+            .as_mut()
+            .ok_or_else(|| Error::InvalidArgument(format!("frame delivered to dead node {idx}")))?;
+        match self.cfg.mode {
+            ShipMode::WalApply => {
+                node.stream.feed(&frame.bytes);
+                while let Some(rec) = node.stream.next_record() {
+                    let batch = WriteBatch::decode(&rec?)?;
+                    store.apply_replicated(batch)?;
+                }
+            }
+            ShipMode::IndexLazy => {
+                let mut guard = store.db.ctx().lock();
+                if !guard.fs.has_log(SHIP_LOG_ID) {
+                    guard.fs.create_log(SHIP_LOG_ID)?;
+                }
+                guard
+                    .fs
+                    .log_append(SHIP_LOG_ID, &frame.bytes, IoKind::Wal)?;
+            }
+        }
+        node.durable_seq = node.durable_seq.max(frame.last_seq);
+        self.stats.applied_frames += 1;
+        Ok(())
+    }
+
+    // ----- failover -----
+
+    /// Kills the current primary at the cluster clock and fails over:
+    /// detection timeout, fencing with the surviving voters, promotion
+    /// of the most-caught-up unpartitioned replica via the crash-image
+    /// recovery path, and a modelled client redirect. Writes acked
+    /// under `PrimaryOnly` that were still in the async ship buffer
+    /// die with the primary.
+    pub fn kill_primary(&mut self) -> Result<FailoverReport> {
+        let kill_ns = self.now_ns;
+        let old = self.primary;
+        self.net.faults_mut().kill(old, kill_ns);
+        self.nodes[old].store = None;
+        self.nodes[old].pending.clear();
+        self.stats.lost_unshipped_frames += self.unshipped.len() as u64;
+        self.unshipped.clear();
+        self.stats.failovers += 1;
+        self.failover(kill_ns)
+    }
+
+    fn failover(&mut self, kill_ns: u64) -> Result<FailoverReport> {
+        let detect_ns = self.cfg.detect_timeout_ns;
+        let detect_end = kill_ns + detect_ns;
+        // Voters: live replicas reachable at detection time. A
+        // partitioned replica cannot be fenced, so it cannot be
+        // promoted — quorum acks guarantee some reachable replica
+        // holds every acked write.
+        let voters: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| {
+                self.nodes[i].store.is_some() && !self.net.faults().partitioned_at(i, detect_end)
+            })
+            .collect();
+        // Bring every voter up to date with deliveries due by now.
+        for &v in &voters {
+            self.pump_node(v, detect_end)?;
+        }
+        let candidate = voters
+            .iter()
+            .copied()
+            .max_by_key(|&v| (self.nodes[v].durable_seq, std::cmp::Reverse(v)))
+            .ok_or_else(|| {
+                Error::InvalidArgument(format!(
+                    "no promotable replica among {} nodes (all dead or partitioned)",
+                    self.nodes.len()
+                ))
+            })?;
+        // Fencing: two round trips with every other voter, so the old
+        // epoch is sealed before the candidate serves.
+        let mut fence_ns = 0u64;
+        for &v in voters.iter().filter(|&&v| v != candidate) {
+            let m1 = self.next_msg();
+            let m2 = self.next_msg();
+            let rtt = self.net.sample_latency_ns(candidate, v, m1)
+                + self.net.sample_latency_ns(v, candidate, m2);
+            fence_ns = fence_ns.max(2 * rtt);
+        }
+        let fence_end = detect_end + fence_ns;
+        // Frames that land during detection + fencing still count.
+        self.pump_node(candidate, fence_end)?;
+        // Anything still in flight to the candidate is fenced off.
+        let fenced = self.nodes[candidate].pending.len() as u64;
+        self.nodes[candidate].pending.clear();
+        self.stats.fenced_inflight_frames += fenced;
+        // Promotion: the PR 1 crash-image + recovery path. For
+        // IndexLazy the reopen replays the ship log (its id sits above
+        // the WAL id horizon), materialising the replica lazily.
+        self.sync_node_clock(candidate, fence_end);
+        let store = self.nodes[candidate].store.take().ok_or_else(|| {
+            Error::InvalidArgument(format!("candidate {candidate} lost its store mid-failover"))
+        })?;
+        let store = store.reopen()?;
+        let replayed = store.db.recovery_report().wal_records_recovered;
+        if self.cfg.mode == ShipMode::IndexLazy {
+            let mut guard = store.db.ctx().lock();
+            if guard.fs.has_log(SHIP_LOG_ID) {
+                guard.fs.delete_log(SHIP_LOG_ID)?;
+            }
+        }
+        let replay_ns = store.clock_ns().saturating_sub(fence_end);
+        // Client redirect: one round trip to the promoted node,
+        // retried on seal-front's capped backoff while it came up.
+        let client = self.client_node();
+        let m3 = self.next_msg();
+        let m4 = self.next_msg();
+        let redirect_ns = self.net.sample_latency_ns(client, candidate, m3)
+            + self.net.sample_latency_ns(candidate, client, m4);
+        let rto_ns = detect_ns + fence_ns + replay_ns + redirect_ns;
+        let mut waited = 0u64;
+        let mut retries = 0u32;
+        while waited < rto_ns && retries < MAX_CLIENT_RETRIES {
+            waited += seal_front::bounded_backoff_ns(
+                self.cfg.retry_backoff_ns,
+                self.cfg.retry_backoff_max_ns,
+                retries,
+            );
+            retries += 1;
+        }
+        {
+            let mut guard = store.db.ctx().lock();
+            let obs = guard.fs.disk_mut().obs_mut();
+            obs.latency(ObsLayer::Replication, "rto_ns", rto_ns);
+            obs.counter_add(ObsLayer::Replication, "failovers", 1);
+            obs.counter_add(ObsLayer::Replication, "replayed_records", replayed);
+            obs.counter_add(
+                ObsLayer::Replication,
+                "client_redirect_retries",
+                u64::from(retries),
+            );
+        }
+        self.nodes[candidate].store = Some(store);
+        self.primary = candidate;
+        self.now_ns = self.now_ns.max(kill_ns + rto_ns);
+        Ok(FailoverReport {
+            promoted: candidate,
+            rto_ns,
+            detect_ns,
+            fence_ns,
+            replay_ns,
+            redirect_ns,
+            replayed_records: replayed,
+            client_retries: u64::from(retries),
+        })
+    }
+
+    /// Rebuilds a killed node as a fresh replica and catches it up by
+    /// streaming the full replicated log. Returns the frames streamed.
+    pub fn rejoin(&mut self, idx: usize) -> Result<u64> {
+        if self.nodes[idx].store.is_some() {
+            return Err(Error::InvalidArgument(format!(
+                "node {idx} is still alive; only killed nodes rejoin"
+            )));
+        }
+        if idx == self.primary {
+            return Err(Error::InvalidArgument(format!(
+                "node {idx} is the primary slot; promote elsewhere first"
+            )));
+        }
+        self.net.faults_mut().revive(idx);
+        let mut node = Node::fresh(self.build_store(idx)?);
+        node.eff_tail = self.now_ns;
+        self.nodes[idx] = node;
+        let frames: Vec<HistFrame> = self.history.clone();
+        let caught = frames.len() as u64;
+        let now = self.now_ns;
+        for f in frames {
+            self.apply_frame(
+                idx,
+                PendingFrame {
+                    ready_ns: now,
+                    last_seq: f.last_seq,
+                    bytes: f.bytes,
+                },
+            )?;
+        }
+        self.stats.catchup_frames += caught;
+        self.stats.applied_frames -= caught; // catch-up counted separately
+        Ok(caught)
+    }
+
+    // ----- audit -----
+
+    /// Checks every acked write against the current primary. Quorum
+    /// and all-ack clusters must report zero loss after any single
+    /// kill (RPO = 0); primary-only clusters lose the unshipped tail.
+    pub fn audit(&mut self) -> Result<AuditReport> {
+        self.pump_all(self.now_ns)?;
+        let p = self.primary;
+        let expected: Vec<(Vec<u8>, Option<Vec<u8>>)> = self
+            .acked
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.sync_node_clock(p, self.now_ns);
+        let store = self.nodes[p].store.as_mut().ok_or_else(|| {
+            Error::InvalidArgument(format!("primary node {p} is dead; cannot audit"))
+        })?;
+        let mut lost = 0u64;
+        for (k, v) in expected {
+            if store.get(&k)? != v {
+                lost += 1;
+            }
+        }
+        Ok(AuditReport {
+            acked_writes: self.acked.len() as u64,
+            acked_lost: lost,
+        })
+    }
+
+    /// Order-independent FNV-1a digest of the primary's full key/value
+    /// state — the cross-run promoted-state fingerprint determinism
+    /// tests compare.
+    pub fn state_hash(&mut self) -> Result<u64> {
+        let p = self.primary;
+        self.sync_node_clock(p, self.now_ns);
+        let store = self.nodes[p].store.as_mut().ok_or_else(|| {
+            Error::InvalidArgument(format!("primary node {p} is dead; cannot hash"))
+        })?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold = |h: &mut u64, bytes: &[u8]| {
+            *h = (*h ^ bytes.len() as u64).wrapping_mul(0x100_0000_01b3);
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let mut start: Vec<u8> = Vec::new();
+        loop {
+            let page = store.scan(&start, 1024)?;
+            for (k, v) in &page {
+                fold(&mut h, k);
+                fold(&mut h, v);
+            }
+            match page.last() {
+                Some((k, _)) if page.len() == 1024 => {
+                    start = k.clone();
+                    start.push(0);
+                }
+                _ => break,
+            }
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SST: u64 = 32 << 10;
+    const CAP: u64 = 1 << 30;
+
+    fn cfg(replicas: usize) -> ReplicaConfig {
+        ReplicaConfig::new(replicas, SST, CAP)
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:05}").into_bytes()
+    }
+
+    fn value(i: u32) -> Vec<u8> {
+        format!("value-{i:05}-{}", "x".repeat(80)).into_bytes()
+    }
+
+    fn load(c: &mut Cluster, from: u32, to: u32) {
+        for i in from..to {
+            c.put(&key(i), &value(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn quorum_replication_survives_primary_kill_with_zero_rpo() {
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 40);
+        let r = c.kill_primary().unwrap();
+        assert_ne!(r.promoted, 0, "a replica must take over");
+        assert!(r.rto_ns > 0 && r.rto_ns >= r.detect_ns);
+        // Survivable: the new primary keeps accepting writes.
+        load(&mut c, 40, 60);
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 60);
+        assert_eq!(audit.acked_lost, 0, "quorum acks must make RPO zero");
+        // Reads on the promoted primary see pre-kill values.
+        let got = c.primary_store_mut().get(&key(7)).unwrap();
+        assert_eq!(got, Some(value(7)));
+    }
+
+    #[test]
+    fn primary_only_acks_lose_the_unshipped_tail() {
+        let mut conf = cfg(2);
+        conf.ack = AckPolicy::PrimaryOnly;
+        conf.ship_every = 8;
+        let mut c = Cluster::new(conf).unwrap();
+        // 21 writes: 16 ship in two batches, 5 die in the buffer.
+        load(&mut c, 0, 21);
+        c.kill_primary().unwrap();
+        assert_eq!(c.stats.lost_unshipped_frames, 5);
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 21);
+        assert_eq!(
+            audit.acked_lost, 5,
+            "async shipping must lose exactly the unshipped tail"
+        );
+    }
+
+    #[test]
+    fn index_lazy_mode_materialises_at_promotion() {
+        let mut conf = cfg(2);
+        conf.mode = ShipMode::IndexLazy;
+        let mut c = Cluster::new(conf).unwrap();
+        load(&mut c, 0, 30);
+        // Replicas hold the frames durably but have applied nothing.
+        c.settle().unwrap();
+        assert_eq!(c.durable_seq(1), 30);
+        let r = c.kill_primary().unwrap();
+        assert!(
+            r.replayed_records >= 30,
+            "promotion must replay the ship log ({} records)",
+            r.replayed_records
+        );
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_lost, 0);
+        assert_eq!(c.primary_store_mut().get(&key(3)).unwrap(), Some(value(3)));
+    }
+
+    #[test]
+    fn lazy_promotion_replays_more_than_hot_standby() {
+        let run = |mode: ShipMode| {
+            let mut conf = cfg(2);
+            conf.mode = mode;
+            let mut c = Cluster::new(conf).unwrap();
+            load(&mut c, 0, 30);
+            c.kill_primary().unwrap().replay_ns
+        };
+        // The lazy replica defers all materialisation to promotion, so
+        // its takeover replay cannot be cheaper than the hot standby's.
+        assert!(run(ShipMode::IndexLazy) >= run(ShipMode::WalApply));
+    }
+
+    #[test]
+    fn rejoined_node_catches_up_and_is_promotable() {
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 20);
+        let first = c.kill_primary().unwrap();
+        load(&mut c, 20, 30);
+        let caught = c.rejoin(0).unwrap();
+        assert_eq!(caught, 30, "catch-up must stream the full history");
+        assert_eq!(c.durable_seq(0), 30);
+        load(&mut c, 30, 35);
+        // Kill again: the rejoined node is now a legitimate candidate.
+        let second = c.kill_primary().unwrap();
+        assert_ne!(second.promoted, first.promoted);
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 35);
+        assert_eq!(audit.acked_lost, 0);
+    }
+
+    #[test]
+    fn rejoin_refuses_live_nodes() {
+        let mut c = Cluster::new(cfg(1)).unwrap();
+        load(&mut c, 0, 3);
+        let err = c.rejoin(1).unwrap_err();
+        assert!(format!("{err:?}").contains("still alive"));
+    }
+
+    // --- satellite 3: failover edge cases ---
+
+    #[test]
+    fn kill_during_group_commit_flush_is_atomic() {
+        // In-flight group commit under async shipping: the whole batch
+        // sits in the unshipped buffer, so the kill loses it whole.
+        let mut conf = cfg(2);
+        conf.ack = AckPolicy::PrimaryOnly;
+        conf.ship_every = 100; // never auto-flush
+        let mut c = Cluster::new(conf).unwrap();
+        load(&mut c, 0, 5);
+        let mut batch = WriteBatch::new();
+        for i in 100..103 {
+            batch.put(&key(i), &value(i));
+        }
+        c.write_unacked(batch).unwrap();
+        c.kill_primary().unwrap();
+        let present = (100..103)
+            .filter(|&i| c.primary_store_mut().get(&key(i)).unwrap().is_some())
+            .count();
+        assert_eq!(present, 0, "an unshipped group commit dies whole");
+
+        // Same in-flight batch under quorum shipping: it was already on
+        // the wire, so the kill keeps it whole.
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 5);
+        let mut batch = WriteBatch::new();
+        for i in 100..103 {
+            batch.put(&key(i), &value(i));
+        }
+        c.write_unacked(batch).unwrap();
+        c.kill_primary().unwrap();
+        let present = (100..103)
+            .filter(|&i| c.primary_store_mut().get(&key(i)).unwrap().is_some())
+            .count();
+        assert_eq!(present, 3, "a shipped group commit survives whole");
+    }
+
+    #[test]
+    fn kill_during_scrub_in_progress_loses_nothing_acked() {
+        use lsm_core::ScrubConfig;
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 40);
+        // Damage a table on the primary and start (but do not finish)
+        // a scrub: the kill lands mid-repair.
+        {
+            let store = c.primary_store_mut();
+            store.flush().unwrap();
+            let f = store
+                .db
+                .current_version()
+                .files
+                .iter()
+                .flatten()
+                .max_by_key(|f| f.size)
+                .expect("flush left no tables")
+                .clone();
+            let ext = store.db.ctx().lock().fs.file_extent(f.id).unwrap();
+            store
+                .db
+                .ctx()
+                .lock()
+                .fs
+                .disk_mut()
+                .faults_mut()
+                .corrupt_extent(smr_sim::Extent::new(ext.offset + 100, 64));
+            let scrub = ScrubConfig {
+                bytes_per_step: 1,
+                repair: true,
+            };
+            store.scrub_step(&scrub).unwrap();
+        }
+        c.kill_primary().unwrap();
+        // The replica never saw the primary's local damage or its
+        // half-done repair; every acked write survives.
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 40);
+        assert_eq!(audit.acked_lost, 0);
+    }
+
+    #[test]
+    fn double_failover_under_all_acks_keeps_every_write() {
+        let mut conf = cfg(2);
+        conf.ack = AckPolicy::All;
+        let mut c = Cluster::new(conf).unwrap();
+        load(&mut c, 0, 15);
+        let first = c.kill_primary().unwrap();
+        load(&mut c, 15, 25);
+        let second = c.kill_primary().unwrap();
+        assert_ne!(first.promoted, second.promoted);
+        assert_eq!(c.stats.failovers, 2);
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 25);
+        assert_eq!(audit.acked_lost, 0, "all-acks survive two failovers");
+    }
+
+    #[test]
+    fn partitioned_replica_is_never_promoted() {
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        // Node 2 is cut off before any traffic and never heals.
+        c.net_mut().faults_mut().partition(2, 0, u64::MAX);
+        load(&mut c, 0, 20);
+        assert_eq!(c.durable_seq(2), 0, "partitioned replica saw nothing");
+        let r = c.kill_primary().unwrap();
+        assert_eq!(
+            r.promoted, 1,
+            "a partitioned replica cannot win the election"
+        );
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_lost, 0);
+    }
+
+    #[test]
+    fn all_replicas_gone_is_a_refused_failover() {
+        let mut c = Cluster::new(cfg(1)).unwrap();
+        c.net_mut().faults_mut().partition(1, 0, u64::MAX);
+        // Quorum writes cannot even ack.
+        let err = c.put(&key(0), &value(0)).unwrap_err();
+        assert!(format!("{err:?}").contains("replica acks"));
+        let err = c.kill_primary().unwrap_err();
+        assert!(format!("{err:?}").contains("no promotable replica"));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = || {
+            let mut c = Cluster::new(cfg(2)).unwrap();
+            load(&mut c, 0, 25);
+            let r = c.kill_primary().unwrap();
+            load(&mut c, 25, 30);
+            c.rejoin(0).unwrap();
+            load(&mut c, 30, 33);
+            (r.rto_ns, c.now_ns(), c.state_hash().unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -74,6 +74,12 @@ pub struct StoreConfig {
     /// serving front-end drives compaction via [`Store::compact_step`]
     /// during idle gaps.
     pub deferred_compaction: bool,
+    /// Sync every WAL append to the simulated disk (`sync=true`
+    /// semantics) instead of buffering `wal_buffer_bytes` chunks.
+    /// Replication nodes require this: an acked write must survive the
+    /// node's own crash-image reopen, so page-cache-buffered WAL bytes
+    /// are not acceptable.
+    pub sync_writes: bool,
 }
 
 impl StoreConfig {
@@ -88,6 +94,7 @@ impl StoreConfig {
             seed: 0x5EA1DB,
             layout_override: None,
             deferred_compaction: false,
+            sync_writes: false,
         }
     }
 
@@ -120,6 +127,9 @@ impl StoreConfig {
         o.wal_enabled = self.wal;
         o.seed = self.seed;
         o.deferred_compaction = self.deferred_compaction;
+        if self.sync_writes {
+            o.wal_buffer_bytes = 0;
+        }
         o
     }
 

@@ -123,6 +123,19 @@ impl Store {
         self.db.scan(start, limit)
     }
 
+    /// Applies a batch shipped by a replication primary, preserving its
+    /// primary-assigned sequence range (see
+    /// [`DbCore::apply_replicated`]). Returns `false` when the batch
+    /// was already applied (duplicate frame).
+    pub fn apply_replicated(&mut self, batch: lsm_core::WriteBatch) -> Result<bool> {
+        self.db.apply_replicated(batch)
+    }
+
+    /// Highest sequence number assigned (primary) or applied (replica).
+    pub fn last_sequence(&self) -> u64 {
+        self.db.last_sequence()
+    }
+
     /// Flushes the memtable and quiesces compactions.
     pub fn flush(&mut self) -> Result<()> {
         self.db.flush()

@@ -35,7 +35,8 @@ use std::collections::BTreeSet;
 
 /// Deterministic xorshift64 used to derive injection positions from the
 /// plan's seed. Self-contained so `smr-sim` stays dependency-free.
-fn mix(mut x: u64) -> u64 {
+/// Shared with [`crate::net`] so network jitter rides the same mixer.
+pub(crate) fn mix(mut x: u64) -> u64 {
     // splitmix64 finalizer: decorrelates consecutive/structured inputs.
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -289,6 +290,114 @@ impl FaultPlan {
     }
 }
 
+/// A network-partition window for one cluster node: while the
+/// simulated clock is inside `[from_ns, to_ns)` the node can neither
+/// send nor receive replication traffic. Messages addressed to a
+/// partitioned node are buffered by the network and released when the
+/// window closes; `to_ns == u64::MAX` means the partition never heals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Cluster node index the window applies to.
+    pub node: usize,
+    /// Start of the window (inclusive), simulated ns.
+    pub from_ns: u64,
+    /// End of the window (exclusive), simulated ns.
+    pub to_ns: u64,
+}
+
+/// A scheduled node kill: at `at_ns` the node's process dies and never
+/// acknowledges anything again. Its disk survives (a rejoin rebuilds
+/// from a fresh store plus catch-up streaming; promotion of a replica
+/// uses its own disk via the crash-image recovery path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeKill {
+    /// Cluster node index to kill.
+    pub node: usize,
+    /// Kill time, simulated ns.
+    pub at_ns: u64,
+}
+
+/// Cluster-level fault schedule: partitions and node kills keyed by
+/// node index on the shared simulated clock. Installed on a
+/// [`crate::net::NetModel`]; the replication harness consults it for
+/// promotion eligibility, the network for delivery.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterFaultPlan {
+    partitions: Vec<PartitionWindow>,
+    kills: Vec<NodeKill>,
+}
+
+impl ClusterFaultPlan {
+    /// An empty schedule: every node healthy forever.
+    pub fn new() -> Self {
+        ClusterFaultPlan::default()
+    }
+
+    /// Schedules a partition of `node` over `[from_ns, to_ns)`.
+    /// `to_ns == u64::MAX` never heals.
+    pub fn partition(&mut self, node: usize, from_ns: u64, to_ns: u64) {
+        assert!(from_ns < to_ns, "empty partition window");
+        self.partitions.push(PartitionWindow {
+            node,
+            from_ns,
+            to_ns,
+        });
+    }
+
+    /// Schedules a kill of `node` at `at_ns`.
+    pub fn kill(&mut self, node: usize, at_ns: u64) {
+        self.kills.push(NodeKill { node, at_ns });
+    }
+
+    /// True while `node` is inside any partition window at time `t_ns`.
+    pub fn partitioned_at(&self, node: usize, t_ns: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| w.node == node && w.from_ns <= t_ns && t_ns < w.to_ns)
+    }
+
+    /// Earliest time `>= t_ns` at which `node` is unpartitioned, or
+    /// `None` if a never-healing window covers it. Chained windows are
+    /// followed to a fixpoint.
+    pub fn heal_ns(&self, node: usize, t_ns: u64) -> Option<u64> {
+        let mut t = t_ns;
+        loop {
+            let covering = self
+                .partitions
+                .iter()
+                .filter(|w| w.node == node && w.from_ns <= t && t < w.to_ns)
+                .map(|w| w.to_ns)
+                .max();
+            match covering {
+                None => return Some(t),
+                Some(u64::MAX) => return None,
+                Some(end) => t = end,
+            }
+        }
+    }
+
+    /// True once `node` has been killed at or before `t_ns`.
+    pub fn killed_at(&self, node: usize, t_ns: u64) -> bool {
+        self.kills.iter().any(|k| k.node == node && k.at_ns <= t_ns)
+    }
+
+    /// Clears every kill scheduled for `node` — the node slot rejoins
+    /// the cluster as a fresh process and may receive traffic again.
+    pub fn revive(&mut self, node: usize) {
+        self.kills.retain(|k| k.node != node);
+    }
+
+    /// The scheduled partition windows, in registration order.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// The scheduled node kills, in registration order.
+    pub fn kills(&self) -> &[NodeKill] {
+        &self.kills
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +511,37 @@ mod tests {
         p.clear_fail_slow();
         p.slow_reads(Extent::new(1000, 1000), 1);
         assert_eq!(p.fail_slow_factor(Extent::new(1100, 10)), 1);
+    }
+
+    #[test]
+    fn partition_windows_cover_and_heal() {
+        let mut plan = ClusterFaultPlan::new();
+        plan.partition(1, 100, 200);
+        plan.partition(1, 200, 300); // chained window
+        plan.partition(2, 50, u64::MAX);
+        assert!(!plan.partitioned_at(1, 99));
+        assert!(plan.partitioned_at(1, 100));
+        assert!(plan.partitioned_at(1, 250));
+        assert!(!plan.partitioned_at(1, 300));
+        assert!(!plan.partitioned_at(0, 150));
+        assert_eq!(plan.heal_ns(1, 150), Some(300));
+        assert_eq!(plan.heal_ns(1, 300), Some(300));
+        assert_eq!(plan.heal_ns(0, 150), Some(150));
+        assert_eq!(plan.heal_ns(2, 60), None);
+    }
+
+    #[test]
+    fn kills_are_permanent() {
+        let mut plan = ClusterFaultPlan::new();
+        plan.kill(0, 500);
+        assert!(!plan.killed_at(0, 499));
+        assert!(plan.killed_at(0, 500));
+        assert!(plan.killed_at(0, u64::MAX));
+        assert!(!plan.killed_at(1, u64::MAX));
+        assert_eq!(plan.kills().len(), 1);
+        assert!(plan.partitions().is_empty());
+        plan.revive(0);
+        assert!(!plan.killed_at(0, u64::MAX));
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub mod error;
 pub mod extent;
 /// Seeded fault-injection plans (torn writes, read errors).
 pub mod fault;
+/// Seeded cluster network: latency, drops, partitions, kills.
+pub mod net;
 /// Unified observability: counters, gauges, latency recorders.
 pub mod obs;
 /// I/O statistics and amplification accounting.
@@ -54,7 +56,8 @@ pub use audit::ShingleAuditor;
 pub use disk::{Disk, DiskSnapshot, Layout};
 pub use error::{DiskError, DiskResult};
 pub use extent::{Extent, ExtentSet};
-pub use fault::FaultPlan;
+pub use fault::{ClusterFaultPlan, FaultPlan, NodeKill, PartitionWindow};
+pub use net::NetModel;
 pub use obs::{
     AllocEvent, EventTracer, LatencyHistogram, MetricsRegistry, Obs, ObsEvent, ObsEventKind,
     ObsLayer,

@@ -40,6 +40,8 @@ pub enum ObsLayer {
     Store,
     /// Serving front-end: request queueing, group commit, admission.
     Frontend,
+    /// Replication: WAL shipping, failover, catch-up streaming.
+    Replication,
 }
 
 impl ObsLayer {
@@ -53,6 +55,7 @@ impl ObsLayer {
             ObsLayer::Placement => "placement",
             ObsLayer::Store => "store",
             ObsLayer::Frontend => "frontend",
+            ObsLayer::Replication => "replication",
         }
     }
 }

@@ -44,3 +44,18 @@ awk -F'[:,]' '$2=="true" && $8 != 0 { printf "scrub-on cell lost %s keys\n", $8;
     END { if (bad) exit 1
           if (on == 0 || off_lost == 0) { print "scrub sweep did not exercise the invariant"; exit 1 }
           printf "scrub durability ok: %d scrub-on cells lost 0 keys, baselines lost %d\n", on, off_lost }'
+
+# Replication artifact: ship-mode x ack-policy x link-latency x kill-point
+# failover sweep, then the schema check (cell grid, RTO monotone in link
+# latency) and the headline RPO gate — every quorum-ack cell lost ZERO
+# acked writes, while the primary-only baselines lose their unshipped
+# tail (the checker enforces this; the awk pass restates it as a gate).
+cargo run -q --release -p bench -- --replicate-out BENCH_pr6.json --tiny
+cargo run -q --release -p bench -- --replicate-check BENCH_pr6.json
+grep -o '"ack":"[a-z]*","link_latency_ns":[0-9]*,"kill_after":[0-9]*,"writes":[0-9]*,"acked_writes":[0-9]*,"acked_lost":[0-9]*' BENCH_pr6.json |
+awk -F'[:,]' '{ gsub(/"/, "") }
+    $2=="quorum" && $12 != 0 { printf "quorum cell lost %s acked writes\n", $12; bad=1 }
+    $2=="quorum" { q++ } $2=="primary" { p_lost+=$12 }
+    END { if (bad) exit 1
+          if (q == 0 || p_lost == 0) { print "replication sweep did not exercise the invariant"; exit 1 }
+          printf "replication rpo ok: %d quorum cells lost 0 acked writes, primary-only baselines lost %d\n", q, p_lost }'

@@ -719,6 +719,7 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
         Ok(sealdb::Store {
             kind: StoreKind::SealDb,
             db,
+            instance: None,
         })
     };
 

@@ -15,6 +15,7 @@ pub mod replicate_run;
 pub mod scale;
 pub mod scrub_run;
 pub mod serve_run;
+pub mod shard_run;
 pub mod timing;
 
 pub use scale::BenchScale;

@@ -24,6 +24,8 @@
 //!   --scrub-check F  validate a previously written scrub artifact
 //!   --replicate-out F    run the replication/failover sweep, write artifact F
 //!   --replicate-check F  validate a previously written replication artifact
+//!   --shard-out F    run the multi-shard scale-out sweep, write artifact F
+//!   --shard-check F  validate a previously written shard artifact
 //! ```
 //!
 //! `serve` as an experiment name runs the sweep and prints the latency
@@ -44,6 +46,8 @@ struct MetricsArgs {
     scrub_check: Option<String>,
     replicate_out: Option<String>,
     replicate_check: Option<String>,
+    shard_out: Option<String>,
+    shard_check: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
@@ -107,6 +111,14 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--replicate-check" => {
                 i += 1;
                 metrics.replicate_check = args.get(i).cloned();
+            }
+            "--shard-out" => {
+                i += 1;
+                metrics.shard_out = args.get(i).cloned();
+            }
+            "--shard-check" => {
+                i += 1;
+                metrics.shard_check = args.get(i).cloned();
             }
             other => experiments.push(other.to_string()),
         }
@@ -283,6 +295,38 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.shard_out {
+        let started = std::time::Instant::now();
+        match bench::shard_run::shard_sweep(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write shard artifact");
+                println!(
+                    "wrote shard artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("shard sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.shard_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read shard artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::shard_run::check_shard_json(&content);
+        if problems.is_empty() {
+            println!("shard artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("shard artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -295,6 +339,8 @@ fn main() {
         || metrics.scrub_check.is_some()
         || metrics.replicate_out.is_some()
         || metrics.replicate_check.is_some()
+        || metrics.shard_out.is_some()
+        || metrics.shard_check.is_some()
     {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
@@ -307,6 +353,7 @@ fn main() {
         eprintln!("       seal-bench --serve-out FILE | --serve-check FILE [options]");
         eprintln!("       seal-bench --scrub-out FILE | --scrub-check FILE [options]");
         eprintln!("       seal-bench --replicate-out FILE | --replicate-check FILE [options]");
+        eprintln!("       seal-bench --shard-out FILE | --shard-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

@@ -177,6 +177,11 @@ pub struct ServeResult {
     pub write_ops: u64,
     /// Largest write group merged.
     pub max_group_len: usize,
+    /// Largest committed group in wire bytes. Never exceeds
+    /// [`ServeConfig::max_group_bytes`] unless a single oversized batch
+    /// committed alone (merging must not overshoot the cap; a lone batch
+    /// bigger than the cap still commits).
+    pub max_group_wire: usize,
     /// Write stalls during the serving phase only.
     pub stalls: StallStats,
     /// Background compaction steps run in idle gaps.
@@ -295,6 +300,17 @@ struct ReadOutcome {
     failed: bool,
 }
 
+/// Whether merging `next` into the group led by `head` keeps the merged
+/// batch within `cap` wire bytes. Checked *before* appending, so a group
+/// never overshoots the cap; the merged size charges `next` its body
+/// bytes only (the group shares the leader's 12-byte header). A head
+/// batch already at or past the cap simply admits no followers — it
+/// still commits, alone. Shared by `seal-front`'s serve loop and the
+/// shard router's per-shard group commit.
+pub fn group_fits(head: &WriteBatch, next: &WriteBatch, cap: usize) -> bool {
+    head.byte_size() + next.body_bytes() <= cap
+}
+
 /// Capped exponential backoff: `base_ns * 2^attempt` (attempt 0 is the
 /// first wait), saturating, clamped to `max_ns` — with both knobs
 /// floored at 1 ns so a zero config cannot spin the retry loop without
@@ -404,6 +420,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
     let mut write_calls = 0u64;
     let mut write_ops = 0u64;
     let mut max_group_len = 0usize;
+    let mut max_group_wire = 0usize;
     let mut idle_compactions = 0u64;
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -490,9 +507,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 loop {
                     let fits = match pending.front() {
                         Some(next) => match &next.op {
-                            Op::Write(b) => {
-                                batch.byte_size() + b.byte_size() <= cfg.max_group_bytes
-                            }
+                            Op::Write(b) => group_fits(&batch, b, cfg.max_group_bytes),
                             _ => false,
                         },
                         None => false,
@@ -510,6 +525,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 write_calls += 1;
                 write_ops += members.len() as u64;
                 max_group_len = max_group_len.max(members.len());
+                max_group_wire = max_group_wire.max(batch.byte_size());
                 store.write(batch)?;
             }
             Op::Get(key) => {
@@ -599,6 +615,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         write_calls,
         write_ops,
         max_group_len,
+        max_group_wire,
         stalls,
         idle_compactions,
         hits,
@@ -716,6 +733,110 @@ mod tests {
         );
         assert!(r.max_group_len > 1);
         assert!(r.avg_group_size() > 1.5, "avg group {}", r.avg_group_size());
+    }
+
+    /// A single-put batch whose wire representation is exactly `wire`
+    /// bytes (value length solved by search around the encoding
+    /// overhead).
+    fn batch_of_wire_size(wire: usize) -> WriteBatch {
+        for vlen in wire.saturating_sub(64)..wire {
+            let mut b = WriteBatch::new();
+            b.put(b"k", &vec![0xAB; vlen]);
+            if b.byte_size() == wire {
+                return b;
+            }
+        }
+        panic!("no single-put batch encodes to exactly {wire} wire bytes");
+    }
+
+    #[test]
+    fn group_cap_admits_merges_up_to_the_exact_boundary() {
+        // LevelDB's 1 MiB cap, probed at cap-1 / cap / cap+1 merged wire
+        // bytes. The pre-fix check charged the follower its full wire
+        // size (12-byte header included), so a merge landing exactly on
+        // the cap — or within 11 bytes below it — was wrongly refused.
+        let cap = 1 << 20;
+        let head = batch_of_wire_size(cap / 2);
+        let fit = |merged_wire: usize| {
+            let follow = batch_of_wire_size(merged_wire - head.byte_size() + 12);
+            assert_eq!(head.byte_size() + follow.body_bytes(), merged_wire);
+            group_fits(&head, &follow, cap)
+        };
+        assert!(fit(cap - 1), "merge to cap-1 bytes must be admitted");
+        assert!(fit(cap), "merge to exactly cap bytes must be admitted");
+        assert!(!fit(cap + 1), "merge to cap+1 bytes must be refused");
+    }
+
+    #[test]
+    fn merging_checks_the_cap_before_appending() {
+        // The merged group never overshoots: appending happens only
+        // after the size check admits the follower.
+        let cap = 1 << 20;
+        let mut head = batch_of_wire_size(cap - 100);
+        let follow = batch_of_wire_size(200);
+        assert!(!group_fits(&head, &follow, cap));
+        // Were it appended anyway, the group would overshoot:
+        head.append(&follow);
+        assert!(head.byte_size() > cap);
+    }
+
+    #[test]
+    fn oversized_single_batch_still_commits_alone() {
+        let cap = 1 << 20;
+        let head = batch_of_wire_size(cap + 1);
+        // No follower may join it...
+        assert!(!group_fits(&head, &batch_of_wire_size(50), cap));
+        // ...but the serve loop still commits it: an over-cap head batch
+        // admits no followers, it is never rejected.
+        let gen = RecordGenerator::new(16, 100, 1);
+        let mut spec = WorkloadSpec::a();
+        spec.mix.read = 0.0;
+        spec.mix.update = 1.0;
+        let mut cfg = ServeConfig::new(
+            spec,
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            4,
+            100,
+            400,
+        );
+        // Cap below a single update batch's wire size (16 B key + 100 B
+        // value + framing): every batch is oversized and commits alone.
+        cfg.max_group_bytes = 64;
+        let r = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(r.ops, 100);
+        assert_eq!(
+            r.write_calls, r.write_ops,
+            "oversized batches must commit alone, not merge"
+        );
+        assert_eq!(r.max_group_len, 1);
+        assert!(r.max_group_wire > cfg.max_group_bytes);
+    }
+
+    #[test]
+    fn merged_groups_never_overshoot_the_cap() {
+        let gen = RecordGenerator::new(16, 100, 1);
+        let mut spec = WorkloadSpec::a();
+        spec.mix.read = 0.0;
+        spec.mix.update = 1.0;
+        let mut cfg = ServeConfig::new(
+            spec,
+            ArrivalProcess::ClosedLoop { think_ns: 0 },
+            8,
+            400,
+            800,
+        );
+        // A cap admitting a few followers per group: groups must form,
+        // and no committed group may exceed the cap in wire bytes.
+        cfg.max_group_bytes = 600;
+        let r = run(StoreKind::SealDb, &cfg, &gen);
+        assert_eq!(r.ops, 400);
+        assert!(r.max_group_len > 1, "groups must form under this cap");
+        assert!(
+            r.max_group_wire <= cfg.max_group_bytes,
+            "group of {} wire bytes overshot the {} cap",
+            r.max_group_wire,
+            cfg.max_group_bytes
+        );
     }
 
     #[test]

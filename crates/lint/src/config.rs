@@ -115,6 +115,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/bench/src/**",
             "crates/frontend/src/**",
             "crates/replica/src/**",
+            "crates/shard/src/**",
         ],
         // Crash-recovery paths must degrade to errors, never panic: a
         // panic during reopen turns a recoverable torn tail into an
@@ -148,6 +149,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/workloads/src/**",
             "crates/frontend/src/**",
             "crates/replica/src/**",
+            "crates/shard/src/**",
             "crates/lint/src/**",
             "src/lib.rs",
         ],
@@ -236,6 +238,25 @@ mod tests {
             assert!(
                 default_scope(rule).iter().any(|p| path_matches(p, replica)),
                 "{rule:?} does not cover the replica crate"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_crate_is_in_determinism_and_api_rule_scopes() {
+        // The cluster router feeds the BENCH_pr7 artifact directly: its
+        // routing, serving schedule, and migration order must replay
+        // byte-identically, and its public API is a library surface.
+        let shard = "crates/shard/src/lib.rs";
+        for rule in [
+            Rule::NoWallClock,
+            Rule::NoAmbientRandomness,
+            Rule::NoUnorderedIteration,
+            Rule::PubItemDocs,
+        ] {
+            assert!(
+                default_scope(rule).iter().any(|p| path_matches(p, shard)),
+                "{rule:?} does not cover the shard crate"
             );
         }
     }

@@ -78,6 +78,15 @@ impl WriteBatch {
         self.rep.len()
     }
 
+    /// Record bytes without the 12-byte `sequence | count` header.
+    /// [`WriteBatch::append`] grows the target by exactly this much —
+    /// the merged batch shares the leader's header — so group-commit cap
+    /// checks must charge a follow-on batch `body_bytes`, not
+    /// `byte_size`, or they refuse merges that land exactly on the cap.
+    pub fn body_bytes(&self) -> usize {
+        self.rep.len() - HEADER
+    }
+
     /// User payload bytes (key + value sizes) — the paper's `WA`
     /// denominator.
     pub fn payload_bytes(&self) -> u64 {

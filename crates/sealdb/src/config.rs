@@ -80,6 +80,11 @@ pub struct StoreConfig {
     /// node's own crash-image reopen, so page-cache-buffered WAL bytes
     /// are not acceptable.
     pub sync_writes: bool,
+    /// Instance label for deployments running many stores of one kind
+    /// (shards, replicas): namespaces the store's metrics exports so
+    /// per-instance registries stay distinguishable when aggregated.
+    /// `None` falls back to the kind's display name.
+    pub instance: Option<String>,
 }
 
 impl StoreConfig {
@@ -95,12 +100,20 @@ impl StoreConfig {
             layout_override: None,
             deferred_compaction: false,
             sync_writes: false,
+            instance: None,
         }
     }
 
     /// Same configuration in serve mode (see `deferred_compaction`).
     pub fn serving(mut self) -> Self {
         self.deferred_compaction = true;
+        self
+    }
+
+    /// Same configuration under an instance label (see
+    /// [`StoreConfig::instance`]).
+    pub fn with_instance(mut self, label: impl Into<String>) -> Self {
+        self.instance = Some(label.into());
         self
     }
 
@@ -180,6 +193,7 @@ impl StoreConfig {
         };
         Ok(Store {
             kind: self.kind,
+            instance: self.instance.clone(),
             db: DbCore::open(disk, opts, policy)?,
         })
     }

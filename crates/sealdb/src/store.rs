@@ -6,10 +6,20 @@ use lsm_core::{CompactionRecord, DbCore, Result, ScrubConfig, ScrubReport, SetSt
 use smr_sim::{neutral_ratio, Extent, IoStats, Obs, ObsLayer, TraceEvent};
 
 /// One of the paper's key-value stores, ready for workloads.
+///
+/// A `Store` is a self-contained instantiable unit: its simulated disk,
+/// WAL, allocator, caches, and metrics registry are all private to the
+/// instance, so deployments can run many of them side by side (shards,
+/// replicas) with no shared mutable state beyond what the caller wires
+/// up. The optional [`Store::instance`] label namespaces the instance's
+/// metrics exports.
 #[derive(Debug)]
 pub struct Store {
     /// Which system this is.
     pub kind: StoreKind,
+    /// Instance label for multi-store deployments (see
+    /// [`crate::StoreConfig::instance`]).
+    pub instance: Option<String>,
     /// The underlying engine.
     pub db: DbCore,
 }
@@ -71,6 +81,9 @@ impl StoreSnapshot {
 pub struct MetricsSnapshot {
     /// Display name of the store.
     pub name: &'static str,
+    /// Instance label (equals `name` for unlabeled stores); namespaces
+    /// per-shard/per-replica registries in aggregated exports.
+    pub instance: String,
     /// Simulated clock at snapshot time, ns.
     pub clock_ns: u64,
     /// The observability bundle, including derived gauges.
@@ -82,8 +95,9 @@ impl MetricsSnapshot {
     /// bundle; at most `trace_tail` trace events are inlined.
     pub fn to_json(&self, trace_tail: usize) -> String {
         format!(
-            "{{\"store\":\"{}\",\"clock_ns\":{},\"obs\":{}}}",
+            "{{\"store\":\"{}\",\"instance\":\"{}\",\"clock_ns\":{},\"obs\":{}}}",
             self.name,
+            self.instance,
             self.clock_ns,
             self.obs.to_json(trace_tail)
         )
@@ -175,6 +189,7 @@ impl Store {
         db.quarantine_invalid_files()?;
         Ok(Store {
             kind: self.kind,
+            instance: self.instance,
             db,
         })
     }
@@ -188,6 +203,7 @@ impl Store {
         db.quarantine_invalid_files()?;
         Ok(Store {
             kind: self.kind,
+            instance: self.instance,
             db,
         })
     }
@@ -236,6 +252,12 @@ impl Store {
     /// Display name.
     pub fn name(&self) -> &'static str {
         self.kind.name()
+    }
+
+    /// Instance name: the configured label, or the kind's display name
+    /// when the store runs alone.
+    pub fn instance_name(&self) -> &str {
+        self.instance.as_deref().unwrap_or_else(|| self.kind.name())
     }
 
     /// Simulated clock, ns.
@@ -354,6 +376,7 @@ impl Store {
         );
         MetricsSnapshot {
             name,
+            instance: self.instance_name().to_string(),
             clock_ns,
             obs: obs.clone(),
         }

@@ -42,6 +42,8 @@ pub enum ObsLayer {
     Frontend,
     /// Replication: WAL shipping, failover, catch-up streaming.
     Replication,
+    /// Cluster router: shard placement, cross-shard queueing, migration.
+    Router,
 }
 
 impl ObsLayer {
@@ -56,6 +58,7 @@ impl ObsLayer {
             ObsLayer::Store => "store",
             ObsLayer::Frontend => "frontend",
             ObsLayer::Replication => "replication",
+            ObsLayer::Router => "router",
         }
     }
 }

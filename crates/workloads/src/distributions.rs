@@ -93,19 +93,96 @@ impl Distribution for Zipfian {
 
 /// Zipfian popularity spread over the keyspace by hashing (YCSB's
 /// `ScrambledZipfianGenerator`): hot items are scattered, not clustered.
+///
+/// The scatter is a *bijection* on `[0, n)` ([`ScatterPermutation`]), not
+/// a hash-mod: `fnv1a64(rank) % n` collides, so distinct ranks alias the
+/// same item, the effective keyspace shrinks, and anything partitioning
+/// the keyspace downstream (the shard router) inherits a silent skew.
 #[derive(Clone, Debug)]
 pub struct ScrambledZipfian {
     inner: Zipfian,
+    perm: ScatterPermutation,
 }
 
-fn fnv1a64(mut x: u64) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for _ in 0..8 {
-        h ^= x & 0xFF;
-        h = h.wrapping_mul(0x100000001b3);
-        x >>= 8;
+/// A keyed bijection on `[0, n)`: a 4-round Feistel network over the
+/// smallest even-bit-width power-of-two domain covering `n`, with
+/// cycle-walking to stay inside `[0, n)`. Every rank maps to a distinct
+/// item, so scattering never shrinks the keyspace.
+#[derive(Clone, Copy, Debug)]
+pub struct ScatterPermutation {
+    n: u64,
+    /// Bits per Feistel half; the walked domain is `2^(2*half_bits)`.
+    half_bits: u32,
+}
+
+/// Feistel round keys — arbitrary odd constants, fixed so the scatter is
+/// stable across runs and processes.
+const SCATTER_KEYS: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
+    0xD6E8_FEB8_6659_FD93,
+];
+
+impl ScatterPermutation {
+    /// A permutation of `[0, n)`; `n = 0` behaves as `n = 1`.
+    pub fn new(n: u64) -> Self {
+        let n = n.max(1);
+        // Smallest even bit width whose power of two covers n, so the
+        // Feistel halves are equal-width and the walk terminates fast
+        // (at most ~4 steps in expectation; the domain is < 4n).
+        let mut half_bits = 1u32;
+        while (1u128 << (2 * half_bits)) < u128::from(n) {
+            half_bits += 1;
+        }
+        ScatterPermutation { n, half_bits }
     }
-    h
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    fn round(&self, half: u64, key: u64) -> u64 {
+        // Multiply-xor-shift mix of one half under a round key, truncated
+        // to the half width. Only injectivity of the whole network
+        // matters, which the Feistel structure supplies for any round
+        // function.
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut x = half ^ key;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^= x >> 32;
+        x & mask
+    }
+
+    fn feistel(&self, v: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (v >> self.half_bits) & mask;
+        let mut right = v & mask;
+        for key in SCATTER_KEYS {
+            let next = left ^ self.round(right, key);
+            left = right;
+            right = next;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Maps `v` to its scattered image; a bijection on `[0, n)`.
+    /// Values at or past `n` are first folded in with `% n`.
+    pub fn scatter(&self, v: u64) -> u64 {
+        // Cycle-walking: iterate the power-of-two-domain bijection until
+        // it lands inside [0, n). Restricting a permutation this way is
+        // itself a permutation of [0, n).
+        let mut x = v % self.n;
+        loop {
+            x = self.feistel(x);
+            if x < self.n {
+                return x;
+            }
+        }
+    }
 }
 
 impl ScrambledZipfian {
@@ -113,6 +190,7 @@ impl ScrambledZipfian {
     pub fn new(n: u64) -> Self {
         ScrambledZipfian {
             inner: Zipfian::new(n),
+            perm: ScatterPermutation::new(n),
         }
     }
 }
@@ -120,7 +198,13 @@ impl ScrambledZipfian {
 impl Distribution for ScrambledZipfian {
     fn next(&mut self, rng: &mut XorShift64, n_now: u64) -> u64 {
         let rank = self.inner.sample(rng);
-        fnv1a64(rank) % n_now.max(1)
+        let n_now = n_now.max(1);
+        // The keyspace can grow past the permutation's domain (inserts);
+        // rebuild lazily so the scatter always covers [0, n_now).
+        if self.perm.domain() != n_now {
+            self.perm = ScatterPermutation::new(n_now);
+        }
+        self.perm.scatter(rank)
     }
 }
 
@@ -170,6 +254,15 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
     }
 
+    /// Share of traffic taken by the hot prefix (the top 1% of items,
+    /// floored at one item so small domains still assert something
+    /// instead of summing an empty slice).
+    fn hot_set_share(counts: &[u32], trials: u64) -> f64 {
+        let hot_len = (counts.len() / 100).max(1);
+        let hot: u64 = counts[..hot_len].iter().map(|&c| u64::from(c)).sum();
+        hot as f64 / trials as f64
+    }
+
     #[test]
     fn zipfian_is_skewed_and_in_range() {
         let n = 10_000u64;
@@ -186,10 +279,95 @@ mod tests {
         let p0 = counts[0] as f64 / trials as f64;
         assert!((0.07..0.15).contains(&p0), "p0 = {p0}");
         // Top 1% of items take the majority of traffic.
-        let hot: u32 = counts[..(n as usize / 100)].iter().sum();
-        assert!(hot as f64 / trials as f64 > 0.5);
+        assert!(hot_set_share(&counts, trials) > 0.5);
         // Monotone-ish decay: first item beats the 100th by a lot.
         assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn zipfian_small_domains_still_assert_skew() {
+        // n < 100 used to make the hot-prefix slice empty, so the skew
+        // assertion passed vacuously; the floored prefix closes that.
+        for n in [2u64, 10, 50, 99] {
+            let mut d = Zipfian::new(n);
+            let mut r = rng();
+            let mut counts = vec![0u32; n as usize];
+            let trials = 20_000;
+            for _ in 0..trials {
+                counts[d.next(&mut r, n) as usize] += 1;
+            }
+            let share = hot_set_share(&counts, trials);
+            // The floored hot set is exactly item 0 here, which holds
+            // ~1/zeta(n) of traffic — far above the uniform share.
+            assert!(
+                share > 1.25 / n as f64,
+                "n = {n}: hot share {share} is not skewed"
+            );
+            assert!(counts[0] > counts[n as usize - 1], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_a_bijection_on_every_domain() {
+        // Full-coverage/no-collision property: over the whole domain the
+        // scatter hits every item exactly once. The replaced
+        // `fnv1a64(rank) % n` scatter fails this for every domain here
+        // (e.g. n = 1000 reaches only ~632 distinct items).
+        for n in [1u64, 2, 7, 100, 255, 256, 257, 1000, 4096, 10_000] {
+            let mut seen = vec![false; n as usize];
+            let p = ScatterPermutation::new(n);
+            for v in 0..n {
+                let s = p.scatter(v);
+                assert!(s < n, "n = {n}: image {s} out of range");
+                assert!(!seen[s as usize], "n = {n}: collision at image {s}");
+                seen[s as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "n = {n}: coverage hole");
+        }
+    }
+
+    #[test]
+    fn scatter_actually_scatters() {
+        // Not the identity and not order-preserving: neighbours land far
+        // apart, which is the whole point of scrambling the hot set.
+        let n = 10_000u64;
+        let p = ScatterPermutation::new(n);
+        let moved = (0..n).filter(|&v| p.scatter(v) != v).count();
+        assert!(moved as u64 > n * 9 / 10, "only {moved} items moved");
+        let mut adjacent = 0;
+        for v in 0..n - 1 {
+            if p.scatter(v).abs_diff(p.scatter(v + 1)) == 1 {
+                adjacent += 1;
+            }
+        }
+        assert!(adjacent < 50, "{adjacent} neighbour pairs stayed adjacent");
+    }
+
+    #[test]
+    fn scrambled_zipfian_hot_key_skew_is_preserved() {
+        // Scrambling permutes identities but must not flatten the
+        // distribution: the hottest item still takes ~1/zeta(n) of
+        // traffic, exactly like the unscrambled zipfian's item 0.
+        let n = 10_000u64;
+        let mut plain = Zipfian::new(n);
+        let mut scrambled = ScrambledZipfian::new(n);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let trials = 100_000;
+        let mut plain_counts = vec![0u32; n as usize];
+        let mut scr_counts = vec![0u32; n as usize];
+        for _ in 0..trials {
+            plain_counts[plain.next(&mut r1, n) as usize] += 1;
+            scr_counts[scrambled.next(&mut r2, n) as usize] += 1;
+        }
+        let p0 = *plain_counts.iter().max().unwrap() as f64 / trials as f64;
+        let s0 = *scr_counts.iter().max().unwrap() as f64 / trials as f64;
+        // Same seed, same rank stream — the permutation only relabels, so
+        // the ordered count multiset is identical.
+        plain_counts.sort_unstable();
+        scr_counts.sort_unstable();
+        assert_eq!(plain_counts, scr_counts, "scatter changed the skew");
+        assert!((s0 - p0).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub mod micro;
 pub mod ycsb;
 
 pub use arrivals::{ArrivalProcess, InterArrival};
-pub use distributions::{Distribution, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use distributions::{
+    Distribution, Latest, ScatterPermutation, ScrambledZipfian, Uniform, Zipfian,
+};
 pub use generator::RecordGenerator;
 pub use micro::{fill_random, fill_seq, permute, read_random, read_seq, MicroResult};
 pub use ycsb::{run as run_ycsb, Dist, Mix, WorkloadSpec, YcsbResult};

@@ -59,3 +59,22 @@ awk -F'[:,]' '{ gsub(/"/, "") }
     END { if (bad) exit 1
           if (q == 0 || p_lost == 0) { print "replication sweep did not exercise the invariant"; exit 1 }
           printf "replication rpo ok: %d quorum cells lost 0 acked writes, primary-only baselines lost %d\n", q, p_lost }'
+
+# Shard artifact: the multi-shard scale-out sweep at the canonical
+# serving scale (1/2/4/8-shard saturation cells plus a mid-run split
+# migration), then the schema check and two visible gates — aggregate
+# saturation rises strictly with shard count, and the migration loses
+# ZERO acked keys while actually moving data.
+cargo run -q --release -p bench -- --shard-out BENCH_pr7.json --serving
+cargo run -q --release -p bench -- --shard-check BENCH_pr7.json
+grep -o '"saturation_ops_per_sec":[0-9.]*' BENCH_pr7.json | cut -d: -f2 |
+awk 'NR>1 && $1 <= prev { printf "shard saturation not strictly increasing: %s after %s\n", $1, prev; exit 1 }
+    { prev=$1; n++ }
+    END { if (n != 4) { printf "expected 4 shard cells, saw %d\n", n; exit 1 }
+          printf "shard scale-out ok: %d cells, saturation strictly increasing\n", n }'
+grep -o '"moved_keys":[0-9]*,"moved_bytes":[0-9]*,"batches":[0-9]*,"duration_ns":[0-9]*,"checked_keys":[0-9]*,"lost_keys":[0-9]*' BENCH_pr7.json |
+awk -F'[:,]' '{ moved=$2; lost=$12 }
+    END { if (NR != 1) { print "expected exactly one migration cell"; exit 1 }
+          if (lost != 0) { printf "migration lost %s acked keys\n", lost; exit 1 }
+          if (moved == 0) { print "migration moved no keys"; exit 1 }
+          printf "shard migration ok: moved %s keys, lost 0\n", moved }'

@@ -720,6 +720,7 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
             kind: StoreKind::SealDb,
             db,
             instance: None,
+            vlog: None,
         })
     };
 

@@ -17,6 +17,7 @@ pub mod scrub_run;
 pub mod serve_run;
 pub mod shard_run;
 pub mod timing;
+pub mod vlog_run;
 
 pub use scale::BenchScale;
 

@@ -26,6 +26,8 @@
 //!   --replicate-check F  validate a previously written replication artifact
 //!   --shard-out F    run the multi-shard scale-out sweep, write artifact F
 //!   --shard-check F  validate a previously written shard artifact
+//!   --vlog-out F     run the key-value-separation sweep, write artifact F
+//!   --vlog-check F   validate a previously written vlog artifact
 //! ```
 //!
 //! `serve` as an experiment name runs the sweep and prints the latency
@@ -48,6 +50,8 @@ struct MetricsArgs {
     replicate_check: Option<String>,
     shard_out: Option<String>,
     shard_check: Option<String>,
+    vlog_out: Option<String>,
+    vlog_check: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
@@ -119,6 +123,14 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
             "--shard-check" => {
                 i += 1;
                 metrics.shard_check = args.get(i).cloned();
+            }
+            "--vlog-out" => {
+                i += 1;
+                metrics.vlog_out = args.get(i).cloned();
+            }
+            "--vlog-check" => {
+                i += 1;
+                metrics.vlog_check = args.get(i).cloned();
             }
             other => experiments.push(other.to_string()),
         }
@@ -327,6 +339,38 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.vlog_out {
+        let started = std::time::Instant::now();
+        match bench::vlog_run::vlog_sweep(scale) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write vlog artifact");
+                println!(
+                    "wrote vlog artifact {path} ({} bytes) [wall-clock {:.1} s]",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("vlog sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.vlog_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read vlog artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::vlog_run::check_vlog_json(&content);
+        if problems.is_empty() {
+            println!("vlog artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("vlog artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -341,6 +385,8 @@ fn main() {
         || metrics.replicate_check.is_some()
         || metrics.shard_out.is_some()
         || metrics.shard_check.is_some()
+        || metrics.vlog_out.is_some()
+        || metrics.vlog_check.is_some()
     {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
@@ -354,6 +400,7 @@ fn main() {
         eprintln!("       seal-bench --scrub-out FILE | --scrub-check FILE [options]");
         eprintln!("       seal-bench --replicate-out FILE | --replicate-check FILE [options]");
         eprintln!("       seal-bench --shard-out FILE | --shard-check FILE [options]");
+        eprintln!("       seal-bench --vlog-out FILE | --vlog-check FILE [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

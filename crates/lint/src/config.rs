@@ -116,6 +116,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/frontend/src/**",
             "crates/replica/src/**",
             "crates/shard/src/**",
+            "crates/vlog/src/**",
         ],
         // Crash-recovery paths must degrade to errors, never panic: a
         // panic during reopen turns a recoverable torn tail into an
@@ -125,6 +126,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/lsm-core/src/version/**",
             "crates/lsm-core/src/filestore.rs",
             "crates/lsm-core/src/db/scrub.rs",
+            "crates/vlog/src/**",
         ],
         // Corruption errors raised during recovery or repair must say
         // where the bad bytes live.
@@ -132,6 +134,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/lsm-core/src/wal.rs",
             "crates/lsm-core/src/version/**",
             "crates/lsm-core/src/db/scrub.rs",
+            "crates/vlog/src/**",
         ],
         // Byte-accounting code must not silently truncate counters.
         Rule::NoLossyCastInAccounting => {
@@ -151,6 +154,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/replica/src/**",
             "crates/shard/src/**",
             "crates/lint/src/**",
+            "crates/vlog/src/**",
             "src/lib.rs",
         ],
     }
@@ -257,6 +261,28 @@ mod tests {
             assert!(
                 default_scope(rule).iter().any(|p| path_matches(p, shard)),
                 "{rule:?} does not cover the shard crate"
+            );
+        }
+    }
+
+    #[test]
+    fn vlog_crate_is_in_recovery_and_api_rule_scopes() {
+        // The value log is a recovery surface (torn-tail scans, segment
+        // checkpoint decode) and feeds the BENCH_pr8 artifact: its
+        // iteration order and error discipline are held to the same bar
+        // as the WAL and manifest, and its public API is documented.
+        let vlog = "crates/vlog/src/lib.rs";
+        for rule in [
+            Rule::NoWallClock,
+            Rule::NoAmbientRandomness,
+            Rule::NoUnorderedIteration,
+            Rule::NoUnwrapInRecovery,
+            Rule::ErrorContext,
+            Rule::PubItemDocs,
+        ] {
+            assert!(
+                default_scope(rule).iter().any(|p| path_matches(p, vlog)),
+                "{rule:?} does not cover the vlog crate"
             );
         }
     }

@@ -40,6 +40,13 @@ use smr_sim::{Disk, IoKind, ObsEventKind, ObsLayer};
 /// `(file id, encoded table bytes, smallest key, largest key)`.
 type PendingOutput = (FileId, Vec<u8>, Vec<u8>, Vec<u8>);
 
+/// First file id reserved for value-log segments. Segment ids live far
+/// above anything the version set's file-id counter can reach, so the
+/// two id spaces never collide and [`DbCore::reopen`]'s orphan cleanup
+/// can tell a vlog segment (reconciled by the value log against its own
+/// manifest checkpoint) from an orphaned table.
+pub const VLOG_FILE_BASE: FileId = 1 << 48;
+
 /// Details of one executed compaction (drives the paper's Fig. 10).
 #[derive(Clone, Debug)]
 pub struct CompactionRecord {
@@ -304,7 +311,9 @@ impl DbCore {
                 .file_extents()
                 .into_iter()
                 .map(|(id, _)| id)
-                .filter(|id| !live.contains(id))
+                // Value-log segments are not version files; the value log
+                // reconciles them against its own manifest checkpoint.
+                .filter(|id| !live.contains(id) && *id < VLOG_FILE_BASE)
                 .collect();
             for id in orphans {
                 if policy.delete_file(&mut guard.fs, id).is_ok() {
@@ -528,7 +537,11 @@ impl DbCore {
     /// thresholds trip; in deferred-compaction mode the write instead
     /// passes through [`DbCore::make_room_for_write`]'s backpressure and
     /// leaves compaction to [`DbCore::compact_step`] callers.
-    pub fn write(&mut self, mut batch: WriteBatch) -> Result<()> {
+    pub fn write(&mut self, batch: WriteBatch) -> Result<()> {
+        self.write_inner(batch, true)
+    }
+
+    fn write_inner(&mut self, mut batch: WriteBatch, account: bool) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -540,25 +553,18 @@ impl DbCore {
         batch.set_sequence(seq);
         if let Some(wal) = self.wal.as_mut() {
             wal.add_record(batch.rep());
-            // The OS page cache absorbs small appends; bytes reach the
-            // disk in `wal_buffer_bytes` chunks (sync=false semantics).
-            if wal.pending_len() >= self.opts.wal_buffer_bytes.max(1) {
-                let bytes = wal.take();
-                let mut guard = self.ctx.lock();
-                let s0 = guard.fs.disk().clock_ns();
-                guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
-                let s1 = guard.fs.disk().clock_ns();
-                let obs = guard.fs.disk_mut().obs_mut();
-                obs.latency(ObsLayer::Wal, "sync_ns", s1 - s0);
-                obs.counter_add(ObsLayer::Wal, "sync_bytes", bytes.len() as u64);
-            }
         }
+        // The OS page cache absorbs small appends; bytes reach the
+        // disk in `wal_buffer_bytes` chunks (sync=false semantics).
+        self.flush_wal_buffer(false)?;
         for (s, ty, key, value) in batch.iter() {
             self.mem.add(s, ty, key, value);
         }
         self.versions
             .set_last_sequence(seq + u64::from(batch.count()) - 1);
-        self.ctx.lock().fs.disk_mut().stats_mut().user_payload += batch.payload_bytes();
+        if account {
+            self.ctx.lock().fs.disk_mut().stats_mut().user_payload += batch.payload_bytes();
+        }
         if !self.opts.deferred_compaction {
             self.maybe_flush_and_compact()?;
         }
@@ -566,6 +572,77 @@ impl DbCore {
         // Fig. 10 bimodality lives in this histogram's tail.
         self.obs_latency(ObsLayer::Store, "write_ns", self.clock_ns() - t0);
         Ok(())
+    }
+
+    /// Drains the buffered WAL tail to disk. When `force` is false this
+    /// honours the `wal_buffer_bytes` chunking; when true any pending
+    /// bytes go down immediately (a durability barrier for callers that
+    /// must not let later work overtake an acked record).
+    fn flush_wal_buffer(&mut self, force: bool) -> Result<()> {
+        let threshold = if force {
+            1
+        } else {
+            self.opts.wal_buffer_bytes.max(1)
+        };
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        if wal.pending_len() == 0 || wal.pending_len() < threshold {
+            return Ok(());
+        }
+        let bytes = wal.take();
+        let mut guard = self.ctx.lock();
+        let s0 = guard.fs.disk().clock_ns();
+        guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
+        let s1 = guard.fs.disk().clock_ns();
+        let obs = guard.fs.disk_mut().obs_mut();
+        obs.latency(ObsLayer::Wal, "sync_ns", s1 - s0);
+        obs.counter_add(ObsLayer::Wal, "sync_bytes", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Forces any buffered WAL bytes to disk. Value-log GC calls this
+    /// after a pointer-fixup batch so the fixups are durable before the
+    /// victim segment is recycled — otherwise a crash could replay the
+    /// world to a state where live pointers still reference freed bytes.
+    pub fn sync_wal(&mut self) -> Result<()> {
+        self.flush_wal_buffer(true)
+    }
+
+    /// Applies a batch exactly like [`DbCore::write`] but without
+    /// crediting `user_payload`: internal traffic (value-log GC pointer
+    /// fixups) must not deflate the write-amplification denominator.
+    pub fn write_unaccounted(&mut self, batch: WriteBatch) -> Result<()> {
+        self.write_inner(batch, false)
+    }
+
+    /// Runs a closure with the file store and placement policy borrowed
+    /// together — the value log appends segments and recycles victims
+    /// through exactly the allocator state the LSM itself uses.
+    pub fn with_fs_and_policy<R>(
+        &mut self,
+        f: impl FnOnce(&mut FileStore, &mut dyn PlacementPolicy) -> R,
+    ) -> R {
+        let mut guard = self.ctx.lock();
+        f(&mut guard.fs, self.policy.as_mut())
+    }
+
+    /// Returns the opaque auxiliary blob the manifest currently carries
+    /// (the value log's segment-directory checkpoint), if any.
+    pub fn aux_state(&self) -> Option<Vec<u8>> {
+        self.versions.aux().map(<[u8]>::to_vec)
+    }
+
+    /// Commits a new auxiliary blob through the manifest. Durable once
+    /// this returns: recovery hands the latest committed blob back via
+    /// [`DbCore::aux_state`].
+    pub fn commit_aux_state(&mut self, blob: Vec<u8>) -> Result<()> {
+        let edit = VersionEdit {
+            aux: Some(blob),
+            ..Default::default()
+        };
+        let mut guard = self.ctx.lock();
+        self.versions.log_and_apply(&mut guard.fs, edit)
     }
 
     /// Applies a batch shipped by a replication primary, keeping the
@@ -597,17 +674,8 @@ impl DbCore {
         }
         if let Some(wal) = self.wal.as_mut() {
             wal.add_record(batch.rep());
-            if wal.pending_len() >= self.opts.wal_buffer_bytes.max(1) {
-                let bytes = wal.take();
-                let mut guard = self.ctx.lock();
-                let s0 = guard.fs.disk().clock_ns();
-                guard.fs.log_append(self.wal_id, &bytes, IoKind::Wal)?;
-                let s1 = guard.fs.disk().clock_ns();
-                let obs = guard.fs.disk_mut().obs_mut();
-                obs.latency(ObsLayer::Wal, "sync_ns", s1 - s0);
-                obs.counter_add(ObsLayer::Wal, "sync_bytes", bytes.len() as u64);
-            }
         }
+        self.flush_wal_buffer(false)?;
         for (s, ty, key, value) in batch.iter() {
             self.mem.add(s, ty, key, value);
         }

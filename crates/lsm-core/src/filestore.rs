@@ -206,6 +206,36 @@ impl FileStore {
         self.files.insert(id, ext);
     }
 
+    /// Writes `data` at `offset` within an already-registered file.
+    /// Incremental-append path for log-structured files (the value log):
+    /// each write lands at a fresh offset inside the file's extent, so on
+    /// a host-managed SMR layout it is a legal sequential append as long
+    /// as callers never rewrite a covered range.
+    pub fn write_file_range(
+        &mut self,
+        id: FileId,
+        offset: u64,
+        data: &[u8],
+        kind: IoKind,
+    ) -> Result<()> {
+        let ext = self.file_extent(id)?;
+        if offset + data.len() as u64 > ext.len {
+            return Err(Error::InvalidArgument(format!(
+                "write past end of file {id}: {offset}+{} > {}",
+                data.len(),
+                ext.len
+            )));
+        }
+        self.disk.set_trace_file(id);
+        self.disk.write(
+            Extent::new(ext.offset + offset, data.len() as u64),
+            data,
+            kind,
+        )?;
+        self.maybe_capture_crash_image();
+        Ok(())
+    }
+
     /// The extent a file occupies.
     pub fn file_extent(&self, id: FileId) -> Result<Extent> {
         self.files
@@ -468,6 +498,30 @@ mod tests {
         assert_eq!(ext, Extent::new(0, 1 << 16));
         assert!(!s.has_file(7));
         assert!(s.read_full(7, IoKind::Get).is_err());
+    }
+
+    #[test]
+    fn file_range_appends_incrementally() {
+        let mut s = fs();
+        // Register a band-sized extent up front, then append into it in
+        // pieces — the value-log write pattern.
+        s.register_file(9, Extent::new(0, 1 << 16));
+        s.write_file_range(9, 0, &[1u8; 100], IoKind::VlogAppend)
+            .unwrap();
+        s.write_file_range(9, 100, &[2u8; 200], IoKind::VlogAppend)
+            .unwrap();
+        assert_eq!(s.read_file(9, 0, 100, IoKind::Get).unwrap(), vec![1u8; 100]);
+        assert_eq!(
+            s.read_file(9, 100, 200, IoKind::Get).unwrap(),
+            vec![2u8; 200]
+        );
+        // The unwritten tail reads as an error, not garbage — the torn-
+        // tail scan depends on this terminating deterministically.
+        assert!(s.read_file(9, 300, 64, IoKind::Get).is_err());
+        // Writes past the registered extent are rejected.
+        assert!(s
+            .write_file_range(9, (1 << 16) - 10, &[0u8; 20], IoKind::VlogAppend)
+            .is_err());
     }
 
     #[test]

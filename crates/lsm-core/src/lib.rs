@@ -55,7 +55,7 @@ pub use db::{
     batch::WriteBatch,
     options::Options,
     scrub::{FileHealth, ScrubConfig, ScrubReport},
-    CompactionRecord, DbCore, RecoveryReport, Snapshot, StallStats,
+    CompactionRecord, DbCore, RecoveryReport, Snapshot, StallStats, VLOG_FILE_BASE,
 };
 pub use error::{Error, Result};
 pub use filestore::{CrashImage, FileStore};

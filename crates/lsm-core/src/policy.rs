@@ -16,6 +16,21 @@ use crate::version::FSMETA_LOG_ID;
 use placement::Allocator;
 use smr_sim::{Extent, IoKind, ObsLayer};
 
+/// Trailing dead space a value-log segment's allocation must own so
+/// *in-place appends* never shingle-damage the next allocation. Normal
+/// table extents are written whole, in frontier order, so forward
+/// damage always lands on not-yet-allocated space; a vlog segment is
+/// appended to long after the frontier has moved past it, so on raw
+/// HM-SMR its extent must absorb the guard window of its own tail
+/// write. Band-granular layouts confine write damage to the band itself
+/// and need no slack.
+pub fn vlog_append_slack(fs: &FileStore) -> u64 {
+    match fs.disk().layout() {
+        smr_sim::Layout::RawHmSmr { guard_bytes } => guard_bytes,
+        _ => 0,
+    }
+}
+
 /// Drains an allocator's queued band-lifecycle events into the disk's
 /// observability sink, stamping each with the current simulated time and
 /// bumping the matching placement counter. Policies call this after any
@@ -50,6 +65,17 @@ pub trait PlacementPolicy: Send {
     /// space is recycled when the policy allows (immediately for per-file
     /// policies; when the whole set fades for the set policy).
     fn delete_file(&mut self, fs: &mut FileStore, file: FileId) -> Result<()>;
+
+    /// Allocates and registers an extent for a `size`-byte value-log
+    /// segment *without writing it*: the value log appends into the
+    /// registered extent incrementally via
+    /// [`FileStore::write_file_range`]. On raw HM-SMR the returned
+    /// extent is over-allocated by [`vlog_append_slack`] so in-place
+    /// appends never shingle-damage the next allocation; the caller must
+    /// cap its writes at `size`. The segment is recycled through
+    /// [`PlacementPolicy::delete_file`] like any table.
+    fn place_vlog_segment(&mut self, fs: &mut FileStore, file: FileId, size: u64)
+        -> Result<Extent>;
 
     /// SEALDB's victim-priority hook (§III-C *Delete*): score a compaction
     /// victim by the files its compaction would consume in the next level.
@@ -254,6 +280,19 @@ impl PlacementPolicy for PerFilePolicy {
         self.alloc.free(ext);
         drain_alloc_events(self.alloc.as_mut(), fs);
         self.journal(fs)
+    }
+
+    fn place_vlog_segment(
+        &mut self,
+        fs: &mut FileStore,
+        file: FileId,
+        size: u64,
+    ) -> Result<Extent> {
+        let ext = self.alloc.allocate(size + vlog_append_slack(fs))?;
+        drain_alloc_events(self.alloc.as_mut(), fs);
+        fs.register_file(file, ext);
+        self.journal(fs)?;
+        Ok(ext)
     }
 
     fn quarantine_extent(&mut self, fs: &mut FileStore, ext: Extent) -> u64 {

@@ -38,6 +38,10 @@ pub struct VersionEdit {
     pub deleted: Vec<(usize, FileId)>,
     /// Files added (level, metadata).
     pub added: Vec<(usize, FileMetaData)>,
+    /// Opaque auxiliary subsystem state carried alongside the file
+    /// layout (the value log checkpoints its segment directory here).
+    /// The latest blob wins; recovery hands it back verbatim.
+    pub aux: Option<Vec<u8>>,
 }
 
 const TAG_LOG_NUMBER: u64 = 1;
@@ -46,6 +50,7 @@ const TAG_LAST_SEQUENCE: u64 = 3;
 const TAG_COMPACT_POINTER: u64 = 4;
 const TAG_DELETED_FILE: u64 = 5;
 const TAG_NEW_FILE: u64 = 6;
+const TAG_AUX: u64 = 7;
 
 impl VersionEdit {
     /// Serialises the edit for the manifest.
@@ -81,6 +86,10 @@ impl VersionEdit {
             put_varint64(&mut dst, f.set_id);
             put_length_prefixed(&mut dst, &f.smallest);
             put_length_prefixed(&mut dst, &f.largest);
+        }
+        if let Some(blob) = &self.aux {
+            put_varint64(&mut dst, TAG_AUX);
+            put_length_prefixed(&mut dst, blob);
         }
         dst
     }
@@ -147,6 +156,7 @@ impl VersionEdit {
                         },
                     ));
                 }
+                TAG_AUX => edit.aux = Some(take_bytes(&mut src)?),
                 _ => return corruption(format!("unknown version edit tag {tag}")),
             }
         }
@@ -203,6 +213,23 @@ mod tests {
         e.add_file(1, meta(20));
         e.add_file(3, meta(21));
         assert_eq!(VersionEdit::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn aux_blob_roundtrip() {
+        let mut e = VersionEdit {
+            aux: Some(vec![1, 2, 3, 0xFF, 0]),
+            ..Default::default()
+        };
+        e.add_file(1, meta(20));
+        assert_eq!(VersionEdit::decode(&e.encode()).unwrap(), e);
+        // Empty blob is distinguishable from no blob.
+        let empty = VersionEdit {
+            aux: Some(Vec::new()),
+            ..Default::default()
+        };
+        assert_eq!(VersionEdit::decode(&empty.encode()).unwrap(), empty);
+        assert_ne!(empty, VersionEdit::default());
     }
 
     #[test]

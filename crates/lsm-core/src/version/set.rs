@@ -117,6 +117,10 @@ pub struct VersionSet {
     log_number: FileId,
     compact_pointer: Vec<Vec<u8>>,
     manifest: LogWriter,
+    /// Latest auxiliary subsystem blob seen in an edit (see
+    /// [`VersionEdit::aux`]); re-emitted on manifest compaction so the
+    /// rewrite never loses checkpointed subsystem state.
+    aux: Option<Vec<u8>>,
 }
 
 impl VersionSet {
@@ -131,6 +135,7 @@ impl VersionSet {
             last_sequence: 0,
             log_number: 0,
             manifest: LogWriter::new(),
+            aux: None,
         }
     }
 
@@ -195,6 +200,9 @@ impl VersionSet {
             for (level, key) in edit.compact_pointers {
                 self.compact_pointer[level] = key;
             }
+            if let Some(blob) = edit.aux {
+                self.aux = Some(blob);
+            }
             report.edits_applied += 1;
         }
         if report.edits_applied == 0 && !data.is_empty() {
@@ -236,6 +244,9 @@ impl VersionSet {
         for (level, key) in &edit.compact_pointers {
             self.compact_pointer[*level] = key.clone();
         }
+        if let Some(blob) = &edit.aux {
+            self.aux = Some(blob.clone());
+        }
         debug_assert_eq!(version.check_invariants(), Ok(()));
         self.manifest.add_record(&edit.encode());
         let bytes = self.manifest.take();
@@ -270,6 +281,7 @@ impl VersionSet {
                 edit.add_file(level, (**f).clone());
             }
         }
+        edit.aux = self.aux.clone();
         self.manifest = LogWriter::new();
         self.manifest.add_record(&edit.encode());
         let bytes = self.manifest.take();
@@ -313,6 +325,13 @@ impl VersionSet {
     /// Records the active WAL id.
     pub fn set_log_number(&mut self, id: FileId) {
         self.log_number = id;
+    }
+
+    /// Latest auxiliary subsystem blob recovered from or logged to the
+    /// manifest (see [`VersionEdit::aux`]). `None` when no subsystem has
+    /// ever checkpointed.
+    pub fn aux(&self) -> Option<&[u8]> {
+        self.aux.as_deref()
     }
 
     /// The level most in need of compaction and its score (>= 1.0 means
@@ -548,6 +567,45 @@ mod tests {
         vs2.log_and_apply(&mut store, e).unwrap();
         let c = vs2.pick_compaction(None).unwrap();
         assert_eq!(c.inputs[0][0].id, 901, "pointer past 'm' picks file 901");
+    }
+
+    #[test]
+    fn aux_blob_survives_recovery_and_manifest_compaction() {
+        let mut store = fs();
+        let mut vs = VersionSet::new(params());
+        vs.create(&mut store).unwrap();
+        assert!(vs.aux().is_none());
+        // Two checkpoints: the latest blob wins.
+        let e = VersionEdit {
+            aux: Some(vec![1, 1, 1]),
+            ..VersionEdit::default()
+        };
+        vs.log_and_apply(&mut store, e).unwrap();
+        let e = VersionEdit {
+            aux: Some(vec![9, 9]),
+            ..VersionEdit::default()
+        };
+        vs.log_and_apply(&mut store, e).unwrap();
+        assert_eq!(vs.aux(), Some(&[9u8, 9][..]));
+
+        let mut vs2 = VersionSet::new(params());
+        vs2.recover(&mut store).unwrap();
+        assert_eq!(vs2.aux(), Some(&[9u8, 9][..]));
+
+        // A manifest rewrite re-emits the blob in its snapshot record.
+        for _ in 0..200u64 {
+            let id = vs2.new_file_id();
+            let mut e = VersionEdit::default();
+            e.add_file(1, meta(id, "a", "m", MB));
+            vs2.log_and_apply(&mut store, e).unwrap();
+            let mut e = VersionEdit::default();
+            e.delete_file(1, id);
+            vs2.log_and_apply(&mut store, e).unwrap();
+        }
+        assert!(vs2.maybe_compact_manifest(&mut store, 1024).unwrap());
+        let mut vs3 = VersionSet::new(params());
+        vs3.recover(&mut store).unwrap();
+        assert_eq!(vs3.aux(), Some(&[9u8, 9][..]));
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct StoreConfig {
     /// per-instance registries stay distinguishable when aggregated.
     /// `None` falls back to the kind's display name.
     pub instance: Option<String>,
+    /// Key-value separation: when set, values at or above the threshold
+    /// live in a band-aligned value log and the LSM stores pointers
+    /// (off by default — inline values, byte-identical legacy
+    /// behaviour). See [`seal_vlog::ValueLog`].
+    pub vlog: Option<seal_vlog::VlogParams>,
 }
 
 impl StoreConfig {
@@ -101,7 +106,24 @@ impl StoreConfig {
             deferred_compaction: false,
             sync_writes: false,
             instance: None,
+            vlog: None,
         }
+    }
+
+    /// Enables key-value separation with explicit parameters.
+    pub fn with_vlog(mut self, params: seal_vlog::VlogParams) -> Self {
+        self.vlog = Some(params);
+        self
+    }
+
+    /// Enables key-value separation with segments sized to one whole
+    /// band at this configuration's scale and default thresholds.
+    pub fn with_default_vlog(self) -> Self {
+        let params = seal_vlog::VlogParams {
+            segment_bytes: self.band_size(),
+            ..seal_vlog::VlogParams::default()
+        };
+        self.with_vlog(params)
     }
 
     /// Same configuration in serve mode (see `deferred_compaction`).
@@ -195,6 +217,7 @@ impl StoreConfig {
             kind: self.kind,
             instance: self.instance.clone(),
             db: DbCore::open(disk, opts, policy)?,
+            vlog: self.vlog.map(seal_vlog::ValueLog::new),
         })
     }
 }

@@ -48,5 +48,6 @@ pub mod store;
 
 pub use config::{StoreConfig, StoreKind};
 pub use policy::SetPolicy;
+pub use seal_vlog::{ValueLog, VlogParams};
 pub use set::{SetRegion, SetRegistry};
 pub use store::{MetricsSnapshot, Store, StoreSnapshot};

@@ -122,6 +122,25 @@ impl PlacementPolicy for SetPolicy {
         Ok(self.registry.register(region, members, true))
     }
 
+    fn place_vlog_segment(
+        &mut self,
+        fs: &mut FileStore,
+        file: FileId,
+        size: u64,
+    ) -> Result<Extent> {
+        // A value-log segment is its own single-member region: one whole
+        // dynamic band that returns to the allocator the moment the log
+        // retires it, never merged into a compaction set.
+        let ext = self
+            .alloc
+            .allocate(size + lsm_core::policy::vlog_append_slack(fs))?;
+        drain_alloc_events(self.alloc.as_mut(), fs);
+        fs.register_file(file, ext);
+        self.registry.register(ext, vec![file], false);
+        self.journal(fs)?;
+        Ok(ext)
+    }
+
     fn delete_file(&mut self, fs: &mut FileStore, file: FileId) -> Result<()> {
         // Invalidate the member's bytes; recycle the region only when it
         // has fully faded.

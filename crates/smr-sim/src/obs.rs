@@ -44,6 +44,8 @@ pub enum ObsLayer {
     Replication,
     /// Cluster router: shard placement, cross-shard queueing, migration.
     Router,
+    /// Value log: segment appends, hot/cold grouping, cooperative GC.
+    ValueLog,
 }
 
 impl ObsLayer {
@@ -59,6 +61,7 @@ impl ObsLayer {
             ObsLayer::Frontend => "frontend",
             ObsLayer::Replication => "replication",
             ObsLayer::Router => "router",
+            ObsLayer::ValueLog => "vlog",
         }
     }
 }
@@ -122,6 +125,18 @@ pub enum ObsEventKind {
     /// Write waited for a full memtable to flush. a = L0 file count after
     /// the flush, b = stall ns.
     MemtableStall,
+    /// Value-log segment opened (band-sized extent allocated and
+    /// registered). a = segment id, b = capacity bytes.
+    VlogSegmentOpen,
+    /// Value-log segment sealed (append head moved on). a = segment id,
+    /// b = used bytes.
+    VlogSegmentSeal,
+    /// Value-log GC pass relocated live values out of a victim segment.
+    /// a = victim segment id, b = live bytes relocated.
+    VlogGcRelocate,
+    /// Value-log segment dropped and its band returned to the allocator.
+    /// a = segment id, b = bytes reclaimed.
+    VlogSegmentDrop,
 }
 
 impl ObsEventKind {
@@ -150,6 +165,10 @@ impl ObsEventKind {
             ObsEventKind::WriteSlowdown => "write-slowdown",
             ObsEventKind::WriteStop => "write-stop",
             ObsEventKind::MemtableStall => "memtable-stall",
+            ObsEventKind::VlogSegmentOpen => "vlog-segment-open",
+            ObsEventKind::VlogSegmentSeal => "vlog-segment-seal",
+            ObsEventKind::VlogGcRelocate => "vlog-gc-relocate",
+            ObsEventKind::VlogSegmentDrop => "vlog-segment-drop",
         }
     }
 }

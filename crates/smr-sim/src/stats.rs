@@ -32,11 +32,16 @@ pub enum IoKind {
     Raw,
     /// Garbage-collection relocation traffic (set migration).
     Gc,
+    /// Value-log segment append (user values diverted out of the LSM).
+    VlogAppend,
+    /// Value-log garbage collection: live values relocated to a fresh
+    /// segment, plus the reads that found them.
+    VlogGc,
 }
 
 impl IoKind {
     /// All variants, for iteration in reports.
-    pub const ALL: [IoKind; 9] = [
+    pub const ALL: [IoKind; 11] = [
         IoKind::Wal,
         IoKind::Flush,
         IoKind::CompactionRead,
@@ -46,6 +51,8 @@ impl IoKind {
         IoKind::Meta,
         IoKind::Raw,
         IoKind::Gc,
+        IoKind::VlogAppend,
+        IoKind::VlogGc,
     ];
 
     fn index(self) -> usize {
@@ -59,6 +66,8 @@ impl IoKind {
             IoKind::Meta => 6,
             IoKind::Raw => 7,
             IoKind::Gc => 8,
+            IoKind::VlogAppend => 9,
+            IoKind::VlogGc => 10,
         }
     }
 }
@@ -123,7 +132,7 @@ impl FaultStats {
 /// Aggregated I/O statistics for one disk.
 #[derive(Clone, Default, Debug)]
 pub struct IoStats {
-    by_kind: [KindCounters; 9],
+    by_kind: [KindCounters; 11],
     /// User payload bytes (key+value sizes of successful puts), reported by
     /// the KV store on top — the denominator of WA and MWA.
     pub user_payload: u64,
@@ -190,27 +199,59 @@ impl IoStats {
     }
 
     /// Bytes written by the LSM-tree itself (flush + compaction outputs):
-    /// the numerator of WA.
+    /// the numerator of the compaction-WA component.
     pub fn lsm_written(&self) -> u64 {
         self.kind(IoKind::Flush).logical_written
             + self.kind(IoKind::CompactionWrite).logical_written
     }
 
-    /// Device bytes attributable to flush + compaction writes (including
-    /// their RMW overhead): the numerator of AWA restricted to LSM traffic.
-    pub fn lsm_device_written(&self) -> u64 {
-        self.kind(IoKind::Flush).device_written + self.kind(IoKind::CompactionWrite).device_written
+    /// Bytes written to the value log (user-value appends plus GC
+    /// relocations): the numerator of the vlog-WA component. Zero when
+    /// key-value separation is off.
+    pub fn vlog_written(&self) -> u64 {
+        self.kind(IoKind::VlogAppend).logical_written + self.kind(IoKind::VlogGc).logical_written
     }
 
-    /// Write amplification of the LSM-tree (Table I: `WA`).
+    /// Device bytes attributable to rewrite traffic (flush + compaction +
+    /// value-log writes, including RMW overhead): the numerator of AWA
+    /// restricted to store-internal write traffic.
+    pub fn lsm_device_written(&self) -> u64 {
+        self.kind(IoKind::Flush).device_written
+            + self.kind(IoKind::CompactionWrite).device_written
+            + self.kind(IoKind::VlogAppend).device_written
+            + self.kind(IoKind::VlogGc).device_written
+    }
+
+    /// Write amplification of the store (Table I: `WA`), covering every
+    /// byte the engine rewrites on the user's behalf: flush + compaction
+    /// plus value-log appends and GC relocations. With key-value
+    /// separation off this equals the compaction-only ratio the paper
+    /// reports; with it on, the components are attributable separately
+    /// via [`IoStats::wa_compaction`] and [`IoStats::wa_vlog_gc`].
     pub fn wa(&self) -> f64 {
+        neutral_ratio(self.lsm_written() + self.vlog_written(), self.user_payload)
+    }
+
+    /// Compaction-driven component of WA: flush + compaction bytes per
+    /// user payload byte.
+    pub fn wa_compaction(&self) -> f64 {
         neutral_ratio(self.lsm_written(), self.user_payload)
     }
 
+    /// Value-log component of WA: vlog append + GC relocation bytes per
+    /// user payload byte. Neutral 1.0 under the zero-denominator
+    /// convention; ~0 contribution shows up as `wa() ≈ wa_compaction()`.
+    pub fn wa_vlog_gc(&self) -> f64 {
+        neutral_ratio(self.vlog_written(), self.user_payload)
+    }
+
     /// Auxiliary write amplification of the SMR drive (Table I: `AWA`),
-    /// computed over LSM traffic as in the paper.
+    /// computed over store-internal write traffic as in the paper.
     pub fn awa(&self) -> f64 {
-        neutral_ratio(self.lsm_device_written(), self.lsm_written())
+        neutral_ratio(
+            self.lsm_device_written(),
+            self.lsm_written() + self.vlog_written(),
+        )
     }
 
     /// Multiplicative overall write amplification (Table I: `MWA`).
@@ -337,6 +378,37 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("torn 1"));
         assert!(text.contains("retries 2"));
+    }
+
+    #[test]
+    fn wa_splits_into_compaction_and_vlog_components() {
+        let mut s = IoStats::new();
+        s.user_payload = 1000;
+        s.record_write(IoKind::Flush, 500, 500, 1);
+        s.record_write(IoKind::CompactionWrite, 1500, 1500, 1);
+        s.record_write(IoKind::VlogAppend, 800, 800, 1);
+        s.record_write(IoKind::VlogGc, 200, 200, 1);
+        assert!((s.wa_compaction() - 2.0).abs() < 1e-9);
+        assert!((s.wa_vlog_gc() - 1.0).abs() < 1e-9);
+        assert!((s.wa() - 3.0).abs() < 1e-9);
+        // The components sum to the headline number.
+        assert!((s.wa() - (s.wa_compaction() + s.wa_vlog_gc())).abs() < 1e-9);
+        // MWA == WA * AWA still holds with vlog traffic in both ratios.
+        assert!((s.mwa() - s.wa() * s.awa()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vlog_off_leaves_wa_unchanged() {
+        let mut s = IoStats::new();
+        s.user_payload = 100;
+        s.record_write(IoKind::Flush, 100, 100, 1);
+        s.record_write(IoKind::CompactionWrite, 900, 4500, 1);
+        // No vlog traffic: the headline WA equals the compaction-only
+        // component, exactly as before key-value separation existed.
+        assert_eq!(s.vlog_written(), 0);
+        assert!((s.wa() - s.wa_compaction()).abs() < 1e-9);
+        assert!((s.wa() - 10.0).abs() < 1e-9);
+        assert!((s.awa() - 4.6).abs() < 1e-9);
     }
 
     #[test]

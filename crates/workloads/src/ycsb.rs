@@ -317,6 +317,31 @@ mod tests {
     }
 
     #[test]
+    fn update_heavy_workloads_run_against_a_vlog_store() {
+        // A and F drive the key-value-separation benchmark: their
+        // updates overwrite values living in the value log, so each run
+        // exercises vlog append, pointer rewrite, and pointer-chase
+        // reads end to end.
+        let gen = RecordGenerator::new(16, 600, 1);
+        let n = 600;
+        for spec in [WorkloadSpec::a(), WorkloadSpec::f()] {
+            let params = sealdb::VlogParams {
+                segment_bytes: 16 << 10,
+                value_threshold: 256,
+                ..Default::default()
+            };
+            let mut store = StoreConfig::new(StoreKind::SealDb, 32 << 10, 1 << 30)
+                .with_vlog(params)
+                .build()
+                .unwrap();
+            fill_random(&mut store, &gen, n, 3).unwrap();
+            let res = run(&mut store, &gen, &spec, n, 500, 11).unwrap();
+            assert_eq!(res.ops, 500);
+            assert_eq!(res.misses, 0, "workload {} missed reads", spec.name);
+        }
+    }
+
+    #[test]
     fn all_workloads_execute_without_misses() {
         let gen = RecordGenerator::new(16, 100, 1);
         let n = 1500;

@@ -716,11 +716,13 @@ pub fn ablation(scale: &BenchScale) -> Result<Report> {
         );
         let data_cap = cap - opts.log_zone_bytes - guard;
         let db = DbCore::open(disk, opts, policy_for(data_cap))?;
+        let ord_audit = sealdb::Store::fresh_auditor(&db, None);
         Ok(sealdb::Store {
             kind: StoreKind::SealDb,
             db,
             instance: None,
             vlog: None,
+            ord_audit,
         })
     };
 

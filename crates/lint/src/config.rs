@@ -103,21 +103,11 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
         // Determinism rules sweep every crate: one stray wall-clock read
         // or ambient RNG anywhere poisons byte-identical artifacts.
         Rule::NoWallClock | Rule::NoAmbientRandomness => vec!["**/*.rs"],
-        // Unordered iteration only matters where map contents feed
-        // metrics, JSON/CSV artifacts, manifest bytes, or placement
-        // decisions. These are the artifact-adjacent modules.
-        Rule::NoUnorderedIteration => vec![
-            "crates/smr-sim/src/**",
-            "crates/lsm-core/src/filestore.rs",
-            "crates/lsm-core/src/cache.rs",
-            "crates/lsm-core/src/version/**",
-            "crates/sealdb/src/**",
-            "crates/bench/src/**",
-            "crates/frontend/src/**",
-            "crates/replica/src/**",
-            "crates/shard/src/**",
-            "crates/vlog/src/**",
-        ],
+        // Every crate's source feeds artifacts somewhere downstream
+        // (metrics, JSON/CSV exports, manifest bytes, placement
+        // decisions), so unordered iteration is banned workspace-wide
+        // rather than by a grow-by-hand module list.
+        Rule::NoUnorderedIteration => vec!["crates/*/src/**", "src/**"],
         // Crash-recovery paths must degrade to errors, never panic: a
         // panic during reopen turns a recoverable torn tail into an
         // outage.
@@ -157,6 +147,15 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/vlog/src/**",
             "src/lib.rs",
         ],
+        // The durability-ordering family applies to all crate sources:
+        // the trigger names are specific enough that out-of-scope code
+        // simply never trips them, and a new crate that grows an ack,
+        // repair or recycle path is covered from day one.
+        Rule::SyncBeforeAck
+        | Rule::CheckpointBeforePointer
+        | Rule::FenceBeforeRepair
+        | Rule::RecycleAfterFixupsDurable
+        | Rule::NoDurabilityInDrop => vec!["crates/*/src/**", "src/**"],
     }
 }
 
@@ -227,40 +226,65 @@ mod tests {
     }
 
     #[test]
-    fn replica_crate_is_in_determinism_and_api_rule_scopes() {
-        // Replication feeds the BENCH_pr6 artifact directly: a wall
-        // clock, ambient RNG, or unordered iteration in the cluster
-        // would break byte-identical failover replays, and its public
-        // API is a library surface other crates build on.
-        let replica = "crates/replica/src/lib.rs";
-        for rule in [
+    fn every_workspace_crate_is_covered_by_determinism_and_ordering_rules() {
+        // The meta-test that replaces grow-by-hand per-crate scope
+        // tests: enumerate `crates/*/src` from disk at test time, so a
+        // new crate that is not covered by the determinism and
+        // ordering rules fails CI the day it lands (the "new crate
+        // silently unlinted" failure mode seen at PRs 5–8).
+        let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("crates/lint sits two levels below the workspace root")
+            .to_path_buf();
+        let mut crates: Vec<String> = std::fs::read_dir(workspace.join("crates"))
+            .expect("workspace has a crates/ directory")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("src").is_dir())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .collect();
+        crates.sort();
+        assert!(
+            crates.len() >= 12,
+            "expected the full workspace, found only {crates:?}"
+        );
+        let blanket = [
             Rule::NoWallClock,
             Rule::NoAmbientRandomness,
             Rule::NoUnorderedIteration,
-            Rule::PubItemDocs,
-        ] {
-            assert!(
-                default_scope(rule).iter().any(|p| path_matches(p, replica)),
-                "{rule:?} does not cover the replica crate"
-            );
+            Rule::SyncBeforeAck,
+            Rule::CheckpointBeforePointer,
+            Rule::FenceBeforeRepair,
+            Rule::RecycleAfterFixupsDurable,
+            Rule::NoDurabilityInDrop,
+        ];
+        for krate in &crates {
+            let probe = format!("crates/{krate}/src/lib.rs");
+            for rule in blanket {
+                assert!(
+                    default_scope(rule).iter().any(|p| path_matches(p, &probe)),
+                    "{rule:?} does not cover crate `{krate}` ({probe})"
+                );
+            }
+            // Every library crate documents its public API; only the
+            // bench binary is exempt (and carries an allowlist entry
+            // with a justification).
+            if krate != "bench" {
+                assert!(
+                    default_scope(Rule::PubItemDocs)
+                        .iter()
+                        .any(|p| path_matches(p, &probe)),
+                    "PubItemDocs does not cover crate `{krate}`"
+                );
+            }
         }
-    }
-
-    #[test]
-    fn shard_crate_is_in_determinism_and_api_rule_scopes() {
-        // The cluster router feeds the BENCH_pr7 artifact directly: its
-        // routing, serving schedule, and migration order must replay
-        // byte-identically, and its public API is a library surface.
-        let shard = "crates/shard/src/lib.rs";
-        for rule in [
-            Rule::NoWallClock,
-            Rule::NoAmbientRandomness,
-            Rule::NoUnorderedIteration,
-            Rule::PubItemDocs,
-        ] {
+        // The root façade crate too.
+        for rule in blanket {
             assert!(
-                default_scope(rule).iter().any(|p| path_matches(p, shard)),
-                "{rule:?} does not cover the shard crate"
+                default_scope(rule)
+                    .iter()
+                    .any(|p| path_matches(p, "src/lib.rs")),
+                "{rule:?} does not cover src/lib.rs"
             );
         }
     }

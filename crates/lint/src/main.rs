@@ -6,13 +6,22 @@
 
 use seal_lint::config::default_allowlist;
 use seal_lint::rules::Rule;
-use seal_lint::{lint_root, render, Options};
+use seal_lint::{
+    apply_baseline, lint_root, parse_baseline, render, render_json, BaselineEntry, Options,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut opts = Options::workspace();
+    let mut format = Format::Text;
+    let mut baseline: Vec<BaselineEntry> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,6 +31,36 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 root = Some(PathBuf::from(dir));
+            }
+            "--format" => {
+                match args.next().as_deref() {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    other => {
+                        eprintln!("seal-lint: --format requires `text` or `json` (got {other:?})");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--baseline" => {
+                let Some(file) = args.next() else {
+                    eprintln!("seal-lint: --baseline requires a file path");
+                    return ExitCode::from(2);
+                };
+                let text = match std::fs::read_to_string(&file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("seal-lint: cannot read baseline {file}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match parse_baseline(&text) {
+                    Ok(entries) => baseline = entries,
+                    Err(e) => {
+                        eprintln!("seal-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--everything" => opts = Options::everything(),
             "--rules" => {
@@ -40,11 +79,15 @@ fn main() -> ExitCode {
                 println!(
                     "seal-lint: workspace static analysis for determinism and \
                      recovery safety\n\n\
-                     usage: seal-lint [--root DIR] [--everything] [--rules] [--allowlist]\n\n\
-                     --root DIR     lint DIR instead of the enclosing workspace\n\
-                     --everything   run every rule on every file, ignoring scopes\n\
-                     --rules        print the rule catalogue and exit\n\
-                     --allowlist    print the allowlist with justifications and exit"
+                     usage: seal-lint [--root DIR] [--everything] [--format FMT] \
+                     [--baseline FILE] [--rules] [--allowlist]\n\n\
+                     --root DIR      lint DIR instead of the enclosing workspace\n\
+                     --everything    run every rule on every file, ignoring scopes\n\
+                     --format FMT    output format: text (default) or json\n\
+                     --baseline FILE suppress findings listed in FILE (one\n\
+                     \x20                `path-pattern: rule-name: justification` per line)\n\
+                     --rules         print the rule catalogue and exit\n\
+                     --allowlist     print the allowlist with justifications and exit"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -56,14 +99,33 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(workspace_root);
     match lint_root(&root, &opts) {
-        Ok(findings) if findings.is_empty() => {
-            println!("seal-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            print!("{}", render(&findings));
-            println!("seal-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            let (findings, stale) = apply_baseline(findings, &baseline);
+            for i in &stale {
+                let e = &baseline[*i];
+                eprintln!(
+                    "seal-lint: stale baseline entry `{}: {}` matched nothing \
+                     (justified: {})",
+                    e.pattern,
+                    e.rule.name(),
+                    e.justification
+                );
+            }
+            match format {
+                Format::Json => print!("{}", render_json(&findings)),
+                Format::Text if findings.is_empty() => {
+                    println!("seal-lint: clean ({})", root.display());
+                }
+                Format::Text => {
+                    print!("{}", render(&findings));
+                    println!("seal-lint: {} finding(s)", findings.len());
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("seal-lint: io error under {}: {e}", root.display());

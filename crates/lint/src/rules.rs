@@ -40,11 +40,26 @@ pub enum Rule {
     ObsMetricNaming,
     /// Public items of library crates carry doc comments.
     PubItemDocs,
+    /// A write acknowledgement must be dominated by a durability
+    /// barrier (`sync_wal`/`append_durable`) on every path.
+    SyncBeforeAck,
+    /// Value-log pointers must not reach the WAL before the segment
+    /// directory checkpoint commits (the PR 8 bug class).
+    CheckpointBeforePointer,
+    /// Repair/salvage of damaged storage must be dominated by a fence
+    /// (`quarantine_extent`/`seal`) on every path.
+    FenceBeforeRepair,
+    /// Segment recycle must be dominated by a durability barrier so
+    /// pointer fixups are on stable media before bytes are freed.
+    RecycleAfterFixupsDurable,
+    /// No durability work (`sync`/checkpoint) reachable from `Drop`
+    /// impls, where ordering at crash is undefined.
+    NoDurabilityInDrop,
 }
 
 impl Rule {
     /// Every rule, in diagnostic order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 13] = [
         Rule::NoWallClock,
         Rule::NoAmbientRandomness,
         Rule::NoUnorderedIteration,
@@ -53,6 +68,11 @@ impl Rule {
         Rule::NoLossyCastInAccounting,
         Rule::ObsMetricNaming,
         Rule::PubItemDocs,
+        Rule::SyncBeforeAck,
+        Rule::CheckpointBeforePointer,
+        Rule::FenceBeforeRepair,
+        Rule::RecycleAfterFixupsDurable,
+        Rule::NoDurabilityInDrop,
     ];
 
     /// Stable kebab-case name used in diagnostics and suppressions.
@@ -66,6 +86,11 @@ impl Rule {
             Rule::NoLossyCastInAccounting => "no-lossy-cast-in-accounting",
             Rule::ObsMetricNaming => "obs-metric-naming",
             Rule::PubItemDocs => "pub-item-docs",
+            Rule::SyncBeforeAck => "sync-before-ack",
+            Rule::CheckpointBeforePointer => "checkpoint-before-pointer",
+            Rule::FenceBeforeRepair => "fence-before-repair",
+            Rule::RecycleAfterFixupsDurable => "recycle-after-fixups-durable",
+            Rule::NoDurabilityInDrop => "no-durability-in-drop",
         }
     }
 
@@ -89,6 +114,15 @@ impl Rule {
                 "metric names snake_case, registered under a declared ObsLayer"
             }
             Rule::PubItemDocs => "public items of library crates carry doc comments",
+            Rule::SyncBeforeAck => "write acks dominated by a durability barrier on every path",
+            Rule::CheckpointBeforePointer => {
+                "segment-directory checkpoint commits before vlog pointers reach the WAL"
+            }
+            Rule::FenceBeforeRepair => "repair/salvage dominated by a fence on every path",
+            Rule::RecycleAfterFixupsDurable => {
+                "segment recycle dominated by durable pointer fixups"
+            }
+            Rule::NoDurabilityInDrop => "no sync/checkpoint work reachable from Drop impls",
         }
     }
 }
@@ -122,10 +156,31 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Convenience for single-file checks (unit tests, doc examples): the
+/// call-graph summary layer sees only this file's own functions.
+pub fn check_source(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
+    let tokens = lex(src);
+    let test_mask = mask_test_code(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| {
+            !matches!(tokens[i].kind, TokenKind::Comment | TokenKind::DocComment) && !test_mask[i]
+        })
+        .collect();
+    let fns = crate::parser::parse(&tokens, &code);
+    let summaries = crate::dataflow::summarize(&fns);
+    check_file(path, src, rules, &summaries)
+}
+
 /// Checks one file's source against `rules`, honouring suppression
 /// comments and skipping test-gated code. `path` is only stamped into
-/// findings; scoping decisions happen in [`crate::lint_root`].
-pub fn check_file(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
+/// findings; scoping decisions happen in [`crate::lint_root`], which
+/// also computes the cross-file call-graph `summaries`.
+pub fn check_file(
+    path: &str,
+    src: &str,
+    rules: &[Rule],
+    summaries: &crate::dataflow::Summaries,
+) -> Vec<Finding> {
     let tokens = lex(src);
     let suppressed = collect_suppressions(&tokens);
     let test_mask = mask_test_code(&tokens);
@@ -148,6 +203,7 @@ pub fn check_file(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
             });
         }
     };
+    let mut ordering_rules: Vec<Rule> = Vec::new();
     for &rule in rules {
         match rule {
             Rule::NoWallClock => no_wall_clock(&tokens, &code, rule, &mut emit),
@@ -158,6 +214,17 @@ pub fn check_file(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
             Rule::NoLossyCastInAccounting => no_lossy_cast(&tokens, &code, rule, &mut emit),
             Rule::ObsMetricNaming => obs_metric_naming(&tokens, &code, rule, &mut emit),
             Rule::PubItemDocs => pub_item_docs(&tokens, &test_mask, rule, &mut emit),
+            Rule::SyncBeforeAck
+            | Rule::CheckpointBeforePointer
+            | Rule::FenceBeforeRepair
+            | Rule::RecycleAfterFixupsDurable
+            | Rule::NoDurabilityInDrop => ordering_rules.push(rule),
+        }
+    }
+    if !ordering_rules.is_empty() {
+        let fns = crate::parser::parse(&tokens, &code);
+        for f in &fns {
+            crate::dataflow::check_fn(f, summaries, &ordering_rules, &mut emit);
         }
     }
     out.sort();
@@ -197,7 +264,7 @@ fn collect_suppressions(tokens: &[Token]) -> BTreeMap<u32, Vec<Rule>> {
 /// Marks tokens inside `#[cfg(test)]`-gated items and `#[test]`
 /// functions. The mask is computed on the *full* stream (comments
 /// included) so indices line up everywhere.
-fn mask_test_code(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn mask_test_code(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -608,7 +675,23 @@ mod tests {
     use super::*;
 
     fn run(src: &str, rules: &[Rule]) -> Vec<Finding> {
-        check_file("f.rs", src, rules)
+        check_source("f.rs", src, rules)
+    }
+
+    #[test]
+    fn ordering_rules_route_through_the_dataflow_pass() {
+        let bad = run(
+            "fn f(db: &mut Db) { db.ack_write(1); }",
+            &[Rule::SyncBeforeAck],
+        );
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("sync_wal"));
+        // Suppression comments work on dataflow findings too.
+        let ok = run(
+            "fn f(db: &mut Db) {\n    // seal-lint: allow(sync-before-ack)\n    db.ack_write(1);\n}",
+            &[Rule::SyncBeforeAck],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

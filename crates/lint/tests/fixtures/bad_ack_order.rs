@@ -1,0 +1,18 @@
+//! Fixture: write acknowledgements that outrun durability.
+//! Expected findings: sync-before-ack (twice).
+
+/// Acks a client write while its bytes may still sit in the WAL buffer.
+pub fn ack_without_sync(db: &mut Db) {
+    db.stage_write(1);
+    db.ack_write(1);
+}
+
+/// Syncs on only one branch, so the ack is not dominated: the fast
+/// path acknowledges bytes the drive has never seen.
+pub fn ack_sync_one_branch(db: &mut Db, fast: bool) {
+    db.stage_write(2);
+    if !fast {
+        db.sync_wal();
+    }
+    db.ack_write(2);
+}

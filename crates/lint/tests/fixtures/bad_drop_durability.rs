@@ -1,0 +1,30 @@
+//! Fixture: durability work reachable from `Drop` impls, where
+//! ordering at crash is undefined.
+//! Expected findings: no-durability-in-drop (twice).
+
+/// A drop impl that syncs the WAL directly.
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.db.sync_wal();
+    }
+}
+
+/// Helper that hides the checkpoint commit one call deep.
+fn hidden_commit(db: &mut Db) {
+    db.commit_aux_state(Vec::new());
+}
+
+/// A drop that reaches durability transitively through the helper;
+/// the call-graph summary layer must see through it.
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        hidden_commit(&mut self.db);
+    }
+}
+
+/// A drop that only touches in-memory state is fine.
+impl Drop for Counter {
+    fn drop(&mut self) {
+        self.stats.reset_counts();
+    }
+}

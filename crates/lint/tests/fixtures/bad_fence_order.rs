@@ -1,0 +1,19 @@
+//! Fixture: repair and salvage of damaged storage without a dominating
+//! fence. Expected findings: fence-before-repair (twice).
+
+/// Rebuilds a damaged file before fencing the extent that damaged it:
+/// the allocator can hand the bad region to the rebuilt file.
+pub fn repair_without_fence(db: &mut Db, level: usize, file: u64) {
+    let entries = db.read_survivors(level, file);
+    db.rebuild_file(level, file, entries);
+    db.quarantine_extent(file);
+}
+
+/// Fences on only one branch: the non-urgent path salvages an
+/// unfenced segment.
+pub fn fence_only_sometimes(db: &mut Db, seg: u64, urgent: bool) {
+    if urgent {
+        db.quarantine_extent(seg);
+    }
+    db.salvage_prefix(seg);
+}

@@ -1,0 +1,25 @@
+//! Fixture: the PR 8 bug class — value-log pointers reach the WAL
+//! before the segment-directory checkpoint commits.
+//! Expected findings: checkpoint-before-pointer (twice).
+
+/// Appends a diverted value and writes the pointer before committing
+/// the directory: a crash between the two recovers a live pointer into
+/// an orphaned segment.
+pub fn pointer_before_checkpoint(db: &mut Db, vlog: &mut Log, key: &[u8], value: &[u8]) {
+    let ptr = vlog.append(key, value);
+    let mut batch = Batch::new();
+    batch.put(key, &encode_pointer(ptr));
+    db.write(batch);
+    if vlog.take_dirty() {
+        db.commit_aux_state(vlog.checkpoint());
+    }
+}
+
+/// Never commits at all: every pointer in the batch dangles after any
+/// crash that loses the in-memory segment directory.
+pub fn pointer_with_no_checkpoint(db: &mut Db, vlog: &mut Log, key: &[u8], value: &[u8]) {
+    let ptr = vlog.append(key, value);
+    let mut batch = Batch::new();
+    batch.put(key, &encode_pointer(ptr));
+    db.write(batch);
+}

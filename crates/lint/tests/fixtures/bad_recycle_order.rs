@@ -1,0 +1,11 @@
+//! Fixture: a GC victim recycled before its pointer fixups are
+//! durable. Expected findings: recycle-after-fixups-durable.
+
+/// Frees the victim's bytes while the fixups that redirect live keys
+/// away from it are still buffered: a crash leaves recovered pointers
+/// aimed at overwritten media. The sync arrives one line too late.
+pub fn recycle_before_fixups_durable(db: &mut Db, vlog: &mut Log, victim: u64, fixups: Batch) {
+    db.write_unaccounted(fixups);
+    vlog.retire_segment(victim);
+    db.sync_wal();
+}

@@ -77,6 +77,130 @@ fn real_workspace_is_clean() {
 }
 
 #[test]
+fn good_ordering_fixture_is_clean() {
+    let findings = lint_root(&fixtures_dir(), &Options::everything()).unwrap();
+    let from_good: Vec<_> = findings
+        .iter()
+        .filter(|f| f.path.starts_with("good_ordering"))
+        .collect();
+    assert!(
+        from_good.is_empty(),
+        "good_ordering.rs must pass every ordering rule; found: {from_good:?}"
+    );
+}
+
+#[test]
+fn json_output_is_deterministic_and_well_formed() {
+    let bin = env!("CARGO_BIN_EXE_seal-lint");
+    let run = || {
+        Command::new(bin)
+            .args([
+                "--root",
+                fixtures_dir().to_str().unwrap(),
+                "--everything",
+                "--format",
+                "json",
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.status.code(), Some(1), "findings still drive exit code");
+    assert_eq!(a.stdout, b.stdout, "JSON output must be byte-stable");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.starts_with("{\"findings\":["), "JSON envelope");
+    assert!(text.trim_end().ends_with('}'), "JSON envelope closes");
+    assert!(
+        text.contains("\"rule\":\"checkpoint-before-pointer\""),
+        "ordering findings appear in JSON"
+    );
+    assert!(
+        !text.contains('\u{0}'),
+        "no raw control characters in output"
+    );
+}
+
+#[test]
+fn baseline_suppresses_and_flags_staleness() {
+    let bin = env!("CARGO_BIN_EXE_seal-lint");
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("baseline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A baseline covering every fixture finding plus one stale entry.
+    let findings = lint_root(&fixtures_dir(), &Options::everything()).unwrap();
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}: {}: grandfathered fixture finding", f.path, f.rule))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    lines.push("no_such_file.rs: no-wall-clock: stale on purpose".to_string());
+    let baseline = dir.join("full.txt");
+    std::fs::write(&baseline, lines.join("\n") + "\n").unwrap();
+
+    let out = Command::new(bin)
+        .args([
+            "--root",
+            fixtures_dir().to_str().unwrap(),
+            "--everything",
+            "--baseline",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "fully-baselined run must exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("stale baseline entry") && stderr.contains("no_such_file.rs"),
+        "stale entries are reported on stderr; got: {stderr}"
+    );
+
+    // Entries without a justification are a hard configuration error.
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "good_ordering.rs: no-wall-clock:\n").unwrap();
+    let out = Command::new(bin)
+        .args([
+            "--root",
+            fixtures_dir().to_str().unwrap(),
+            "--everything",
+            "--baseline",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing justification must be rejected with exit 2"
+    );
+}
+
+#[test]
+fn fixture_skip_is_scoped_to_the_lint_crate() {
+    // Only `crates/lint/tests/fixtures` is exempt from linting; any other
+    // directory that happens to be called `fixtures` must still be scanned.
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixtures-scope");
+    let nested = root.join("crates/demo/src/fixtures");
+    std::fs::create_dir_all(&nested).unwrap();
+    std::fs::write(
+        nested.join("clocky.rs"),
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .unwrap();
+    let findings = lint_root(&root, &Options::everything()).unwrap();
+    assert!(
+        findings.iter().any(|f| f.path.contains("fixtures")),
+        "a dir merely named `fixtures` outside crates/lint must be linted; \
+         got: {findings:?}"
+    );
+}
+
+#[test]
 fn cli_exit_codes() {
     let bin = env!("CARGO_BIN_EXE_seal-lint");
     let clean = Command::new(bin)

@@ -299,7 +299,7 @@ impl DbCore {
             // manifest commit (or a manifest tail we just dropped) leaves
             // data files no version references. They must not load-bear;
             // reclaim their space.
-            let live: std::collections::HashSet<FileId> = versions
+            let live: std::collections::BTreeSet<FileId> = versions
                 .current()
                 .files
                 .iter()
@@ -607,6 +607,13 @@ impl DbCore {
     /// world to a state where live pointers still reference freed bytes.
     pub fn sync_wal(&mut self) -> Result<()> {
         self.flush_wal_buffer(true)
+    }
+
+    /// Bytes buffered in the WAL but not yet on disk. Zero means every
+    /// acked record is durable; the debug-build ordering auditor asserts
+    /// this at ack time.
+    pub fn wal_pending_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.pending_len() as u64)
     }
 
     /// Applies a batch exactly like [`DbCore::write`] but without

@@ -467,6 +467,12 @@ impl Cluster {
             }
         }
         if record_ack {
+            // Debug-build happens-before audit: every byte acked to the
+            // client must already be durable on the primary (the cluster
+            // runs `sync_writes`, so the WAL tail drains per write).
+            if let Some(store) = self.nodes[p].store.as_mut() {
+                store.ordering_ack();
+            }
             self.stats.acked_writes += entries.len() as u64;
             for (k, v) in entries {
                 self.acked.insert(k, v);

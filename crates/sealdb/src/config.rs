@@ -213,11 +213,15 @@ impl StoreConfig {
                 self.guard_bytes(),
             )))),
         };
+        let db = DbCore::open(disk, opts, policy)?;
+        let vlog = self.vlog.map(seal_vlog::ValueLog::new);
+        let ord_audit = Store::fresh_auditor(&db, vlog.as_ref());
         Ok(Store {
             kind: self.kind,
             instance: self.instance.clone(),
-            db: DbCore::open(disk, opts, policy)?,
-            vlog: self.vlog.map(seal_vlog::ValueLog::new),
+            db,
+            vlog,
+            ord_audit,
         })
     }
 }

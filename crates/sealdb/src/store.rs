@@ -26,6 +26,10 @@ pub struct Store {
     /// Band-aligned value log when key-value separation is enabled (see
     /// [`crate::StoreConfig::vlog`]); `None` stores values inline.
     pub vlog: Option<ValueLog>,
+    /// Debug-build happens-before auditor: the runtime twin of
+    /// `seal-lint`'s ordering rules. `None` in release builds, where the
+    /// audit compiles to nothing.
+    pub ord_audit: Option<smr_sim::OrderingAuditor>,
 }
 
 /// Snapshot of everything the figures need.
@@ -138,6 +142,7 @@ impl Store {
         };
         let legacy_payload = batch.payload_bytes();
         let mut rewritten = WriteBatch::new();
+        let mut ptr_segments: Vec<u64> = Vec::new();
         for (_, ty, key, value) in batch.iter() {
             // Lazy post-recovery rebuild of the dead-byte accounting: a
             // reopen empties the log's pointer index, so the first
@@ -163,6 +168,7 @@ impl Store {
                         let ptr = self
                             .db
                             .with_fs_and_policy(|fs, policy| vlog.append(fs, policy, key, value))?;
+                        ptr_segments.push(ptr.segment);
                         rewritten.put(key, &encode_pointer(ptr));
                     } else {
                         // A key shrinking below the threshold leaves
@@ -176,6 +182,15 @@ impl Store {
         if vlog.take_dirty() {
             let blob = vlog.checkpoint();
             self.db.commit_aux_state(blob)?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+            }
+        }
+        if let Some(a) = self.ord_audit.as_mut() {
+            let now = self.db.clock_ns();
+            for &seg in &ptr_segments {
+                a.record_pointer_write(now, seg);
+            }
         }
         let new_payload = rewritten.payload_bytes();
         self.db.write(rewritten)?;
@@ -270,6 +285,7 @@ impl Store {
         // rebuilt lazily, so each entry must be verified the slow way.
         let exact = vlog.dead_is_exact();
         let mut fixups = WriteBatch::new();
+        let mut ptr_segments: Vec<u64> = Vec::new();
         for entry in &scan.entries {
             let live = exact
                 || match self.db.get(&entry.key)? {
@@ -285,6 +301,7 @@ impl Store {
             let new_ptr = self.db.with_fs_and_policy(|fs, policy| {
                 vlog.relocate(fs, policy, &entry.key, &entry.value)
             })?;
+            ptr_segments.push(new_ptr.segment);
             fixups.put(&entry.key, &encode_pointer(new_ptr));
         }
         // Same ordering rule as the append path: if relocation opened a
@@ -294,8 +311,18 @@ impl Store {
         if vlog.take_dirty() {
             let blob = vlog.checkpoint();
             self.db.commit_aux_state(blob)?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+            }
         }
         if !fixups.is_empty() {
+            if let Some(a) = self.ord_audit.as_mut() {
+                let now = self.db.clock_ns();
+                for &seg in &ptr_segments {
+                    a.record_pointer_write(now, seg);
+                }
+                a.record_fixup_write(now, scan.segment);
+            }
             self.db.write_unaccounted(fixups)?;
         }
         if scan.finished {
@@ -303,11 +330,18 @@ impl Store {
             // the victim's bytes can be freed, or recovery could replay
             // pointers into a recycled band.
             self.db.sync_wal()?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_durable(self.db.clock_ns());
+                a.record_recycle(self.db.clock_ns(), scan.segment);
+            }
             self.db
                 .with_fs_and_policy(|fs, policy| vlog.retire_segment(fs, policy, scan.segment))?;
             if vlog.take_dirty() {
                 let blob = vlog.checkpoint();
                 self.db.commit_aux_state(blob)?;
+                if let Some(a) = self.ord_audit.as_mut() {
+                    a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+                }
             }
         }
         Ok(true)
@@ -376,11 +410,13 @@ impl Store {
         let mut db = self.db.reopen()?;
         db.quarantine_invalid_files()?;
         let vlog = Self::recover_vlog(self.vlog, &mut db)?;
+        let ord_audit = Self::fresh_auditor(&db, vlog.as_ref());
         Ok(Store {
             kind: self.kind,
             instance: self.instance,
             db,
             vlog,
+            ord_audit,
         })
     }
 
@@ -411,12 +447,37 @@ impl Store {
         let mut db = self.db.restore_crash_image(image)?;
         db.quarantine_invalid_files()?;
         let vlog = Self::recover_vlog(self.vlog, &mut db)?;
+        let ord_audit = Self::fresh_auditor(&db, vlog.as_ref());
         Ok(Store {
             kind: self.kind,
             instance: self.instance,
             db,
             vlog,
+            ord_audit,
         })
+    }
+
+    /// Builds the debug-build ordering auditor, seeded with the segments
+    /// the (possibly just-recovered) directory knows. Returns `None` in
+    /// release builds, where the audit compiles to nothing.
+    pub fn fresh_auditor(db: &DbCore, vlog: Option<&ValueLog>) -> Option<smr_sim::OrderingAuditor> {
+        if !cfg!(debug_assertions) {
+            return None;
+        }
+        let mut audit = smr_sim::OrderingAuditor::new();
+        let segments = vlog.map(ValueLog::segment_ids).unwrap_or_default();
+        audit.reset_recovered(db.clock_ns(), &segments);
+        Some(audit)
+    }
+
+    /// Debug-build ack hook: asserts that every byte the caller is about
+    /// to acknowledge is durable (no unsynced WAL tail). Serving layers
+    /// call this at the point they report success to a client; in
+    /// release builds it is a no-op.
+    pub fn ordering_ack(&mut self) {
+        if let Some(a) = self.ord_audit.as_mut() {
+            a.record_ack(self.db.clock_ns(), self.db.wal_pending_bytes());
+        }
     }
 
     /// Cumulative write-stall accounting (slowdown / stop / memtable
@@ -492,7 +553,13 @@ impl Store {
             vlog.seal(fs, seg);
             vlog.salvage_prefix(fs, seg)
         })?;
+        if let Some(a) = self.ord_audit.as_mut() {
+            let now = self.db.clock_ns();
+            a.record_fence(now, seg);
+            a.record_repair(now, seg);
+        }
         let mut fixups = WriteBatch::new();
+        let mut ptr_segments: Vec<u64> = Vec::new();
         for entry in &entries {
             let live = match self.db.get(&entry.key)? {
                 Some(stored) => {
@@ -506,22 +573,52 @@ impl Store {
             let new_ptr = self.db.with_fs_and_policy(|fs, policy| {
                 vlog.relocate(fs, policy, &entry.key, &entry.value)
             })?;
+            ptr_segments.push(new_ptr.segment);
             fixups.put(&entry.key, &encode_pointer(new_ptr));
             report.blocks_corrected += 1;
         }
-        if !fixups.is_empty() {
-            self.db.write_unaccounted(fixups)?;
-        }
-        self.db.sync_wal()?;
-        let fenced = self
-            .db
-            .with_fs_and_policy(|fs, policy| vlog.quarantine_segment(fs, policy, seg))?;
-        report.files_quarantined += 1;
-        report.extents_fenced += 1;
-        report.bytes_fenced += fenced;
+        // Commit the segment directory *before* the fixup pointers reach
+        // the WAL: relocation may have opened a new band, and a crash
+        // after the pointers land but before the commit would recover
+        // live pointers into an orphaned segment (the PR 8 bug class —
+        // found by seal-lint's checkpoint-before-pointer rule).
         if vlog.take_dirty() {
             let blob = vlog.checkpoint();
             self.db.commit_aux_state(blob)?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+            }
+        }
+        if !fixups.is_empty() {
+            if let Some(a) = self.ord_audit.as_mut() {
+                let now = self.db.clock_ns();
+                for &s in &ptr_segments {
+                    a.record_pointer_write(now, s);
+                }
+                a.record_fixup_write(now, seg);
+            }
+            self.db.write_unaccounted(fixups)?;
+        }
+        self.db.sync_wal()?;
+        if let Some(a) = self.ord_audit.as_mut() {
+            a.record_durable(self.db.clock_ns());
+        }
+        let fenced = self
+            .db
+            .with_fs_and_policy(|fs, policy| vlog.quarantine_segment(fs, policy, seg))?;
+        if let Some(a) = self.ord_audit.as_mut() {
+            a.record_fence(self.db.clock_ns(), seg);
+        }
+        report.files_quarantined += 1;
+        report.extents_fenced += 1;
+        report.bytes_fenced += fenced;
+        // The quarantine flag itself still needs a commit of its own.
+        if vlog.take_dirty() {
+            let blob = vlog.checkpoint();
+            self.db.commit_aux_state(blob)?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+            }
         }
         Ok(())
     }

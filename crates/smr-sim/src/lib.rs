@@ -43,6 +43,8 @@ pub mod fault;
 pub mod net;
 /// Unified observability: counters, gauges, latency recorders.
 pub mod obs;
+/// Debug-build happens-before auditor for durability ordering.
+pub mod ordering;
 /// I/O statistics and amplification accounting.
 pub mod stats;
 /// Copy-on-write sparse chunk store backing disk contents.
@@ -62,6 +64,7 @@ pub use obs::{
     AllocEvent, EventTracer, LatencyHistogram, MetricsRegistry, Obs, ObsEvent, ObsEventKind,
     ObsLayer,
 };
+pub use ordering::OrderingAuditor;
 pub use stats::{neutral_ratio, FaultStats, IoKind, IoStats, KindCounters};
 pub use timemodel::TimeModel;
 pub use trace::{TraceDir, TraceEvent, TraceRecorder};

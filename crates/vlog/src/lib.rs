@@ -300,6 +300,12 @@ impl ValueLog {
         self.segments.len()
     }
 
+    /// Ids of every segment in the directory, ascending (used to seed
+    /// the debug-build ordering auditor after recovery).
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.segments.keys().copied().collect()
+    }
+
     /// True when a value of this size should be diverted to the log.
     pub fn should_divert(&self, value_len: usize) -> bool {
         value_len >= self.params.value_threshold

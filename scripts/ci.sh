@@ -10,9 +10,29 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# seal-lint: workspace determinism/recovery-safety invariants (DESIGN.md §11).
-# Any finding is a hard failure.
-cargo run -q -p seal-lint --release
+# seal-lint: workspace determinism/recovery-safety/durability-ordering
+# invariants (DESIGN.md §11, §16). Any non-baselined finding is a hard
+# failure; stale baseline entries are warned on stderr.
+cargo run -q -p seal-lint --release -- --baseline scripts/lint-baseline.txt
+
+# The lint's machine-readable output must be byte-deterministic and
+# carry the ordering rules: run the fixture tree twice in JSON mode
+# (exit 1 expected — the fixtures are known-bad) and compare.
+cargo run -q -p seal-lint --release -- --root crates/lint/tests/fixtures --everything --format json > lint-fixtures-a.json || true
+cargo run -q -p seal-lint --release -- --root crates/lint/tests/fixtures --everything --format json > lint-fixtures-b.json || true
+cmp lint-fixtures-a.json lint-fixtures-b.json
+grep -q '"rule":"checkpoint-before-pointer"' lint-fixtures-a.json
+grep -q '"rule":"recycle-after-fixups-durable"' lint-fixtures-a.json
+rm -f lint-fixtures-a.json lint-fixtures-b.json
+echo "seal-lint json self-check ok"
+
+# Runtime half of the ordering contract: the debug-profile crash-point
+# suites run with the OrderingAuditor live (debug_assert!s active), so
+# a violated happens-before edge fails here even if every recovered
+# value happens to read back correctly. (`cargo test --workspace` above
+# also runs debug, but these suites are the designated ordering oracle —
+# keep them green by name.)
+cargo test -q --test vlog_crash_points --test crash_points --test recovery_hardening
 
 # Observability artifact: produce the metrics trajectory at smoke scale
 # and schema-check it (fails on missing keys or any NaN/Inf leak).

@@ -9,6 +9,7 @@
 //! deterministic, and "throughput" means operations per simulated
 //! second, exactly the quantity the paper plots.
 
+pub mod chaos_run;
 pub mod experiments;
 pub mod metrics_run;
 pub mod replicate_run;

@@ -28,6 +28,9 @@
 //!   --shard-check F  validate a previously written shard artifact
 //!   --vlog-out F     run the key-value-separation sweep, write artifact F
 //!   --vlog-check F   validate a previously written vlog artifact
+//!   --chaos-out F    run the composed-fault chaos sweep, write artifact F
+//!   --chaos-check F  validate a previously written chaos artifact
+//!   --chaos-schedules N  seeded schedules in the chaos sweep (default 25)
 //! ```
 //!
 //! `serve` as an experiment name runs the sweep and prints the latency
@@ -52,12 +55,18 @@ struct MetricsArgs {
     shard_check: Option<String>,
     vlog_out: Option<String>,
     vlog_check: Option<String>,
+    chaos_out: Option<String>,
+    chaos_check: Option<String>,
+    chaos_schedules: usize,
 }
 
 fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
     let mut scale = BenchScale::default();
     let mut out_dir = "results".to_string();
-    let mut metrics = MetricsArgs::default();
+    let mut metrics = MetricsArgs {
+        chaos_schedules: 25,
+        ..MetricsArgs::default()
+    };
     let mut experiments = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -132,6 +141,15 @@ fn parse_args() -> (Vec<String>, BenchScale, String, MetricsArgs) {
                 i += 1;
                 metrics.vlog_check = args.get(i).cloned();
             }
+            "--chaos-out" => {
+                i += 1;
+                metrics.chaos_out = args.get(i).cloned();
+            }
+            "--chaos-check" => {
+                i += 1;
+                metrics.chaos_check = args.get(i).cloned();
+            }
+            "--chaos-schedules" => metrics.chaos_schedules = need(&mut i, &args) as usize,
             other => experiments.push(other.to_string()),
         }
         i += 1;
@@ -371,6 +389,39 @@ fn run_metrics(scale: &BenchScale, metrics: &MetricsArgs) {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &metrics.chaos_out {
+        let started = std::time::Instant::now();
+        match bench::chaos_run::chaos_sweep(scale, metrics.chaos_schedules) {
+            Ok(json) => {
+                std::fs::write(path, &json).expect("write chaos artifact");
+                println!(
+                    "wrote chaos artifact {path} ({} bytes, {} schedules) [wall-clock {:.1} s]",
+                    json.len(),
+                    metrics.chaos_schedules,
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("chaos sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics.chaos_check {
+        let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read chaos artifact {path}: {e}");
+            std::process::exit(1);
+        });
+        let problems = bench::chaos_run::check_chaos_json(&content);
+        if problems.is_empty() {
+            println!("chaos artifact {path} is valid");
+        } else {
+            for p in &problems {
+                eprintln!("chaos artifact {path}: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -387,6 +438,8 @@ fn main() {
         || metrics.shard_check.is_some()
         || metrics.vlog_out.is_some()
         || metrics.vlog_check.is_some()
+        || metrics.chaos_out.is_some()
+        || metrics.chaos_check.is_some()
     {
         run_metrics(&scale, &metrics);
         if wanted.is_empty() {
@@ -401,6 +454,7 @@ fn main() {
         eprintln!("       seal-bench --replicate-out FILE | --replicate-check FILE [options]");
         eprintln!("       seal-bench --shard-out FILE | --shard-check FILE [options]");
         eprintln!("       seal-bench --vlog-out FILE | --vlog-check FILE [options]");
+        eprintln!("       seal-bench --chaos-out FILE | --chaos-check FILE [--chaos-schedules N] [options]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {

@@ -1,0 +1,978 @@
+//! The chaos orchestrator and its end-to-end durability oracle.
+//!
+//! A [`ChaosHarness`] composes the full stack the way production
+//! would: several replication groups (each a [`seal_replica::Cluster`]
+//! of vlog-enabled SEALDB stores), a consistent-hash ring routing
+//! client keys across groups, and a migration override table on top of
+//! the ring. Events from a [`crate::ChaosEvent`] schedule are applied
+//! one by one on the shared simulated timeline; the harness tracks
+//! every value it promised a client in a global `promised` map.
+//!
+//! After the schedule, [`ChaosHarness::check`] runs the oracle:
+//!
+//! 1. **No acked loss** — every group's [`Cluster::audit_deep`] must
+//!    report zero acked writes that *no* survivor holds (a lagging or
+//!    damaged primary is a repairable miss, not loss).
+//! 2. **Routing durability** — every promised key must be served with
+//!    its promised value by some live node of the group it currently
+//!    routes to, across migrations (the vlog pointer path included:
+//!    reads resolve through each node's own value log).
+//! 3. **Survivor agreement** — live undamaged nodes of a group must
+//!    agree on a full-state hash (nodes that took injected permanent
+//!    device damage are excluded: quarantine legitimately sheds data
+//!    locally, which is exactly what replicas are for).
+//! 4. **Scrub accounting** — every corrupt block a scrubber found must
+//!    be remediated: `corrected + lost + files_quarantined ≥ corrupt`.
+//! 5. **Ordering audits** — in debug builds the per-store
+//!    [`smr_sim::OrderingAuditor`] panics on any ack/durability/recycle
+//!    ordering violation; a panic fails the run (and is what the
+//!    shrinker minimizes on).
+//!
+//! Everything is deterministic: the same `(config, seed, schedule)`
+//! produces byte-identical [`OracleReport`]s.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lsm_core::{Result, ScrubConfig, ScrubReport, WriteBatch};
+use seal_replica::{Cluster, ReplicaConfig};
+use seal_shard::HashRing;
+use sealdb::{Store, VlogParams};
+use smr_sim::{ClusterFaultClass, DeviceFaultClass, Extent, FaultPlan};
+
+use crate::schedule::ChaosEvent;
+
+/// Number of distinct client keys the traffic model cycles over.
+pub const KEYSPACE: u32 = 128;
+
+/// Number of routing buckets (key index modulo this); migration moves
+/// whole buckets between groups.
+pub const BUCKETS: u32 = 16;
+
+/// Shape of one chaos run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Replication groups (the "shards" of the composed deployment).
+    pub groups: usize,
+    /// Replicas per group (each group runs `replicas + 1` nodes).
+    pub replicas: usize,
+    /// Schedule length the generator aims for.
+    pub events: usize,
+    /// SSTable size of every node store.
+    pub sstable_size: u64,
+    /// Disk capacity of every node store.
+    pub disk_capacity: u64,
+    /// Route value-log GC through the deliberately broken
+    /// retire-before-sync entry point
+    /// (`Store::vlog_gc_step_retire_before_sync`) — the re-injected
+    /// PR 8 regression the shrinker demo minimizes down to.
+    pub buggy_gc: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            groups: 2,
+            replicas: 2,
+            events: 24,
+            sstable_size: 32 << 10,
+            disk_capacity: 1 << 30,
+            buggy_gc: false,
+        }
+    }
+}
+
+/// Which fault classes a run actually injected, by stable class name
+/// (see [`DeviceFaultClass::name`] / [`ClusterFaultClass::name`]).
+/// The CI smoke gate requires a minimum spread of classes so "chaos
+/// passed" can never mean "chaos did nothing".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Injections per device fault class.
+    pub device: BTreeMap<&'static str, u64>,
+    /// Injections per cluster fault class.
+    pub cluster: BTreeMap<&'static str, u64>,
+}
+
+impl Coverage {
+    /// Records one device-fault injection.
+    pub fn record_device(&mut self, class: DeviceFaultClass) {
+        *self.device.entry(class.name()).or_insert(0) += 1;
+    }
+
+    /// Records one cluster-fault injection.
+    pub fn record_cluster(&mut self, class: ClusterFaultClass) {
+        *self.cluster.entry(class.name()).or_insert(0) += 1;
+    }
+
+    /// Distinct device fault classes injected.
+    pub fn device_classes(&self) -> usize {
+        self.device.len()
+    }
+
+    /// Distinct cluster fault classes injected.
+    pub fn cluster_classes(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Folds another coverage tally into this one.
+    pub fn merge(&mut self, other: &Coverage) {
+        for (k, v) in &other.device {
+            *self.device.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.cluster {
+            *self.cluster.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// What the oracle concluded about one finished schedule. Violations
+/// empty ⇒ the run upheld every invariant; anything else is a
+/// reproducible bug (feed the schedule to [`crate::shrink`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Replica groups in the run.
+    pub groups: usize,
+    /// Schedule events actually applied.
+    pub events_applied: u64,
+    /// Schedule events skipped as inapplicable (e.g. a kill with no
+    /// live victim after shrinking removed its neighbours).
+    pub events_skipped: u64,
+    /// Acked client writes across all groups (per-group audit sets).
+    pub acked_writes: u64,
+    /// Acked keys some group's primary misserved but a survivor held —
+    /// repairable inconsistency, not loss.
+    pub primary_misses: u64,
+    /// Acked keys no survivor of their group holds. Must be zero.
+    pub acked_lost: u64,
+    /// Promised keys the routing-level check verified.
+    pub promised_checked: u64,
+    /// Promised keys unreadable on every live node of their routed
+    /// group. Must be zero.
+    pub promised_lost: u64,
+    /// Groups where ≥ 2 undamaged survivors were compared for
+    /// state-hash agreement.
+    pub hash_groups_checked: u64,
+    /// Lifetime scrub counters summed over group primaries.
+    pub scrub_blocks_corrupt: u64,
+    /// Corrupt blocks recovered by correction or salvage relocation.
+    pub scrub_blocks_corrected: u64,
+    /// Blocks lost outright.
+    pub scrub_blocks_lost: u64,
+    /// Files rebuilt onto healthy space.
+    pub scrub_files_repaired: u64,
+    /// Files or value-log segments quarantined.
+    pub scrub_files_quarantined: u64,
+    /// Failovers performed across all groups.
+    pub failovers: u64,
+    /// Fault classes injected.
+    pub coverage: Coverage,
+    /// Invariant violations, in detection order. Empty ⇒ pass.
+    pub violations: Vec<String>,
+}
+
+/// The chaos orchestrator. Build with [`ChaosHarness::new`], drive
+/// with [`ChaosHarness::run`] (one-shot: a harness serves one
+/// schedule, then its oracle verdict).
+#[derive(Debug)]
+pub struct ChaosHarness {
+    cfg: ChaosConfig,
+    groups: Vec<Cluster>,
+    ring: HashRing,
+    /// Migration overrides: bucket → group, shadowing the ring.
+    overrides: BTreeMap<u32, usize>,
+    /// Every value promised to a client, by key index (`None` = a
+    /// promised deletion).
+    promised: BTreeMap<u32, Option<Vec<u8>>>,
+    /// Nodes excluded from state-hash agreement: they took injected
+    /// permanent device damage (quarantine sheds data locally) or a
+    /// write error left them ahead of the shipped frame stream.
+    damaged: BTreeSet<(usize, usize)>,
+    /// Per group, the latest scheduled partition heal bound.
+    partition_end: Vec<u64>,
+    /// Monotonic operation counter feeding key values and probes.
+    seq: u64,
+    coverage: Coverage,
+    applied: u64,
+    skipped: u64,
+    violations: Vec<String>,
+}
+
+/// Runs `f` against the primary's device fault plan.
+fn with_primary_faults<R>(c: &mut Cluster, f: impl FnOnce(&mut FaultPlan) -> R) -> R {
+    let store = c.primary_store_mut();
+    let ctx = store.db.ctx();
+    let mut guard = ctx.lock();
+    f(guard.fs.disk_mut().faults_mut())
+}
+
+/// The on-disk extent of the primary's largest live table, if any.
+fn largest_table_extent(store: &mut Store) -> Option<Extent> {
+    let version = store.db.current_version();
+    let file = version
+        .files
+        .iter()
+        .flatten()
+        .max_by_key(|f| f.size)?
+        .clone();
+    store.db.ctx().lock().fs.file_extent(file.id).ok()
+}
+
+/// Flushes with retries (a transient read fault can fail the
+/// compaction that rides along). True once a flush succeeded.
+fn flush_with_retry(store: &mut Store) -> bool {
+    for _ in 0..4 {
+        if store.flush().is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs repairing scrub steps until one full pass completes. False if
+/// the pass could not be driven to completion.
+fn scrub_until_full_pass(store: &mut Store) -> bool {
+    let cfg = ScrubConfig {
+        bytes_per_step: 1 << 20,
+        repair: true,
+    };
+    let before = store.scrub_report().full_passes;
+    let mut errs = 0u32;
+    for _ in 0..512 {
+        if store.scrub_step(&cfg).is_err() {
+            // Transient read faults fail a step; the retried step
+            // re-reads the same offsets and succeeds.
+            errs += 1;
+            if errs > 16 {
+                return false;
+            }
+        }
+        if store.scrub_report().full_passes > before {
+            return true;
+        }
+    }
+    false
+}
+
+/// Reads `key` on node `idx`, retrying through the transient-fault
+/// budget (each distinct offset fails at most once).
+fn get_with_retry(c: &mut Cluster, idx: usize, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    let mut last = None;
+    for _ in 0..4 {
+        match c.get_of(idx, key) {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
+}
+
+/// Client key bytes for key index `idx`.
+pub fn key_bytes(idx: u32) -> Vec<u8> {
+    format!("k{idx:05}").into_bytes()
+}
+
+/// Deterministic value payload for key `idx` at operation `seq` —
+/// large enough to divert through the value log.
+pub fn value_bytes(idx: u32, seq: u64) -> Vec<u8> {
+    let mut v = format!("value-{idx:05}-{seq:010}-").into_bytes();
+    v.resize(400, b'x');
+    v
+}
+
+impl ChaosHarness {
+    /// Builds `cfg.groups` fresh replication groups, each node running
+    /// key-value separation, with per-group seeds derived from `seed`.
+    pub fn new(cfg: ChaosConfig, seed: u64) -> Result<ChaosHarness> {
+        assert!(cfg.groups >= 1, "a chaos run needs at least one group");
+        let mut ring = HashRing::new(8);
+        let mut groups = Vec::with_capacity(cfg.groups);
+        for g in 0..cfg.groups {
+            ring.add_shard(g);
+            let mut rc = ReplicaConfig::new(cfg.replicas, cfg.sstable_size, cfg.disk_capacity);
+            rc.seed = crate::schedule::SplitMix::new(seed ^ (g as u64 + 1)).next_u64();
+            let rc = rc.with_vlog(VlogParams {
+                segment_bytes: 32 << 10,
+                value_threshold: 64,
+                ..VlogParams::default()
+            });
+            groups.push(Cluster::new(rc)?);
+        }
+        Ok(ChaosHarness {
+            partition_end: vec![0; cfg.groups],
+            cfg,
+            groups,
+            ring,
+            overrides: BTreeMap::new(),
+            promised: BTreeMap::new(),
+            damaged: BTreeSet::new(),
+            seq: 0,
+            coverage: Coverage::default(),
+            applied: 0,
+            skipped: 0,
+            violations: Vec::new(),
+        })
+    }
+
+    /// Direct access to one replication group — for tests and
+    /// debugging tools that need to inspect cluster internals between
+    /// events; schedules themselves only go through
+    /// [`ChaosHarness::apply_event`].
+    pub fn group_mut(&mut self, g: usize) -> &mut Cluster {
+        &mut self.groups[g]
+    }
+
+    /// The group key index `idx` currently routes to.
+    pub fn route(&self, idx: u32) -> usize {
+        let bucket = idx % BUCKETS;
+        match self.overrides.get(&bucket) {
+            Some(&g) => g,
+            None => {
+                let g = self.ring.route(format!("bucket{bucket:03}").as_bytes());
+                g % self.cfg.groups
+            }
+        }
+    }
+
+    /// Applies the whole schedule, then runs the oracle.
+    pub fn run(&mut self, events: &[ChaosEvent]) -> Result<OracleReport> {
+        for ev in events {
+            self.apply_event(ev)?;
+        }
+        self.check()
+    }
+
+    /// Applies one event. Returns whether it was applicable (an event
+    /// whose precondition vanished — e.g. a kill with no live victim
+    /// after shrinking — is skipped, never an error).
+    pub fn apply_event(&mut self, ev: &ChaosEvent) -> Result<bool> {
+        let done = match *ev {
+            ChaosEvent::WriteBurst { base, count } => self.ev_write_burst(base, count)?,
+            ChaosEvent::TornWrite { group } => self.ev_torn_write(group % self.cfg.groups)?,
+            ChaosEvent::CorruptExtent { group } => {
+                self.ev_corrupt_extent(group % self.cfg.groups)?
+            }
+            ChaosEvent::TransientReads { group, n } => {
+                self.ev_transient_reads(group % self.cfg.groups, n)?
+            }
+            ChaosEvent::UnrecoverableRead { group } => {
+                self.ev_permanent_damage(group % self.cfg.groups, false)?
+            }
+            ChaosEvent::BandFailure { group } => {
+                self.ev_permanent_damage(group % self.cfg.groups, true)?
+            }
+            ChaosEvent::FailSlow { group, mult } => {
+                self.ev_fail_slow(group % self.cfg.groups, mult)?
+            }
+            ChaosEvent::Partition {
+                group,
+                pick,
+                dur_ns,
+            } => self.ev_partition(group % self.cfg.groups, pick, dur_ns)?,
+            ChaosEvent::KillReplica { group, pick } => {
+                self.ev_kill_replica(group % self.cfg.groups, pick)?
+            }
+            ChaosEvent::Revive { group } => self.ev_revive(group % self.cfg.groups)?,
+            ChaosEvent::Failover { group } => self.ev_failover(group % self.cfg.groups)?,
+            ChaosEvent::RestartPrimary { group } => {
+                self.groups[group % self.cfg.groups].restart_primary()?;
+                true
+            }
+            ChaosEvent::GcDrain { group } => self.ev_gc_drain(group % self.cfg.groups)?,
+            ChaosEvent::ScrubPass { group } => self.ev_scrub_pass(group % self.cfg.groups)?,
+            ChaosEvent::Migrate { bucket, to } => self.ev_migrate(bucket, to)?,
+        };
+        if done {
+            self.applied += 1;
+            if let Some(c) = ev.device_class() {
+                self.coverage.record_device(c);
+            }
+            for &c in ev.cluster_classes() {
+                self.coverage.record_cluster(c);
+            }
+        } else {
+            self.skipped += 1;
+        }
+        Ok(done)
+    }
+
+    fn ev_write_burst(&mut self, base: u32, count: u32) -> Result<bool> {
+        for i in 0..count {
+            let idx = (base.wrapping_add(i)) % KEYSPACE;
+            self.seq += 1;
+            let g = self.route(idx);
+            let key = key_bytes(idx);
+            let delete = self.seq.is_multiple_of(7);
+            let value = if delete {
+                None
+            } else {
+                Some(value_bytes(idx, self.seq))
+            };
+            let res = match &value {
+                None => self.groups[g].delete(&key),
+                Some(v) => self.groups[g].put(&key, v),
+            };
+            if res.is_ok() {
+                self.promised.insert(idx, value);
+            }
+            // A write error promises nothing, and the cluster keeps
+            // primary and replicas convergent even then: a batch that
+            // committed locally before maintenance failed still ships,
+            // so there is no divergence to track here.
+        }
+        Ok(true)
+    }
+
+    fn ev_torn_write(&mut self, g: usize) -> Result<bool> {
+        let c = &mut self.groups[g];
+        with_primary_faults(c, |f| f.tear_write_after(0));
+        self.seq += 1;
+        let probe_key = format!("torn-probe-{:08}", self.seq).into_bytes();
+        let mut probe_value = format!("torn-{:08}-", self.seq).into_bytes();
+        probe_value.resize(200, b't');
+        let mut b = WriteBatch::new();
+        b.put(&probe_key, &probe_value);
+        let res = c.write_unacked(b);
+        with_primary_faults(c, |f| f.disarm_torn_writes());
+        c.restart_primary()?;
+        if res.is_ok() {
+            self.violations.push(format!(
+                "group {g}: torn write was armed but the probe write succeeded"
+            ));
+        }
+        // If the torn write hit a different device write than the
+        // probe's own WAL record, recovery may legitimately resurrect
+        // the probe on the primary; no replica ever saw it, so the
+        // node leaves the survivor-agreement set.
+        let p = c.primary_index();
+        if get_with_retry(c, p, &probe_key)?.is_some() {
+            self.damaged.insert((g, p));
+        }
+        Ok(true)
+    }
+
+    fn ev_corrupt_extent(&mut self, g: usize) -> Result<bool> {
+        let c = &mut self.groups[g];
+        flush_with_retry(c.primary_store_mut());
+        let Some(ext) = largest_table_extent(c.primary_store_mut()) else {
+            return Ok(false);
+        };
+        if ext.len < 256 {
+            return Ok(false);
+        }
+        // ≤ 64 damaged bytes ⇒ one flipped bit per overlapped 4 KiB
+        // block ⇒ single-bit-correctable.
+        with_primary_faults(c, |f| f.corrupt_extent(Extent::new(ext.offset + 100, 8)));
+        let before = *c.primary_store_mut().scrub_report();
+        let completed = scrub_until_full_pass(c.primary_store_mut());
+        with_primary_faults(c, |f| f.clear_corruption());
+        let after = *c.primary_store_mut().scrub_report();
+        if !completed {
+            self.violations.push(format!(
+                "group {g}: repair scrub after corruption never finished a pass"
+            ));
+        }
+        if after.blocks_corrupt == before.blocks_corrupt {
+            self.violations.push(format!(
+                "group {g}: planted corruption was not detected by scrub"
+            ));
+        } else if after.blocks_corrected == before.blocks_corrected
+            && after.blocks_lost == before.blocks_lost
+            && after.files_quarantined == before.files_quarantined
+        {
+            self.violations.push(format!(
+                "group {g}: detected corruption was left unremediated"
+            ));
+        }
+        if after.blocks_lost > before.blocks_lost
+            || after.files_quarantined > before.files_quarantined
+        {
+            let p = c.primary_index();
+            self.damaged.insert((g, p));
+        }
+        Ok(true)
+    }
+
+    fn ev_transient_reads(&mut self, g: usize, n: u64) -> Result<bool> {
+        let budget = n.clamp(1, 3);
+        let c = &mut self.groups[g];
+        with_primary_faults(c, |f| f.fail_reads_transiently(budget));
+        // Absorb most of the budget right away with throwaway reads of
+        // promised keys; whatever survives is soaked up by the retry
+        // discipline every later read path uses.
+        let keys: Vec<u32> = self
+            .promised
+            .keys()
+            .copied()
+            .filter(|&idx| self.route(idx) == g)
+            .take(4)
+            .collect();
+        let c = &mut self.groups[g];
+        let p = c.primary_index();
+        for _ in 0..2 {
+            for &idx in &keys {
+                let _ = c.get_of(p, &key_bytes(idx));
+            }
+        }
+        Ok(true)
+    }
+
+    fn ev_permanent_damage(&mut self, g: usize, whole_band: bool) -> Result<bool> {
+        let c = &mut self.groups[g];
+        flush_with_retry(c.primary_store_mut());
+        let Some(ext) = largest_table_extent(c.primary_store_mut()) else {
+            return Ok(false);
+        };
+        if ext.len < 4096 {
+            return Ok(false);
+        }
+        with_primary_faults(c, |f| {
+            if whole_band {
+                f.fail_band(ext);
+            } else {
+                f.fail_reads_permanently(Extent::new(ext.offset + ext.len / 2, 16));
+            }
+        });
+        let before = *c.primary_store_mut().scrub_report();
+        let completed = scrub_until_full_pass(c.primary_store_mut());
+        // The drive "remaps" the bad region once scrub has moved or
+        // quarantined everything that lived there; the fenced extents
+        // stay out of the allocator regardless.
+        with_primary_faults(c, |f| f.clear_persistent_faults());
+        let after = *c.primary_store_mut().scrub_report();
+        let kind = if whole_band {
+            "band failure"
+        } else {
+            "latent sector error"
+        };
+        if !completed {
+            self.violations.push(format!(
+                "group {g}: repair scrub after {kind} never finished a pass"
+            ));
+        }
+        let remediated = after.blocks_lost > before.blocks_lost
+            || after.files_repaired > before.files_repaired
+            || after.files_quarantined > before.files_quarantined
+            || after.blocks_corrected > before.blocks_corrected;
+        if !remediated {
+            self.violations.push(format!(
+                "group {g}: planted {kind} left no trace in scrub accounting"
+            ));
+        }
+        // Quarantine/repair may shed data on this node; replicas hold it.
+        let p = c.primary_index();
+        self.damaged.insert((g, p));
+        Ok(true)
+    }
+
+    fn ev_fail_slow(&mut self, g: usize, mult: u64) -> Result<bool> {
+        let c = &mut self.groups[g];
+        let ext =
+            largest_table_extent(c.primary_store_mut()).unwrap_or_else(|| Extent::new(0, 1 << 20));
+        with_primary_faults(c, |f| f.slow_reads(ext, mult.clamp(2, 16)));
+        Ok(true)
+    }
+
+    fn live_replica_choices(c: &Cluster) -> Vec<usize> {
+        let p = c.primary_index();
+        (0..=c.config().replicas)
+            .filter(|&i| i != p && c.alive(i))
+            .collect()
+    }
+
+    fn ev_partition(&mut self, g: usize, pick: usize, dur_ns: u64) -> Result<bool> {
+        let c = &mut self.groups[g];
+        let choices = Self::live_replica_choices(c);
+        if choices.is_empty() {
+            return Ok(false);
+        }
+        let node = choices[pick % choices.len()];
+        let from = c.now_ns();
+        let to = from + dur_ns.clamp(1_000_000, 200_000_000);
+        c.net_mut().faults_mut().partition(node, from, to);
+        self.partition_end[g] = self.partition_end[g].max(to);
+        Ok(true)
+    }
+
+    fn ev_kill_replica(&mut self, g: usize, pick: usize) -> Result<bool> {
+        let c = &mut self.groups[g];
+        let choices = Self::live_replica_choices(c);
+        if choices.is_empty() {
+            return Ok(false);
+        }
+        let node = choices[pick % choices.len()];
+        c.kill_replica(node)?;
+        Ok(true)
+    }
+
+    fn ev_revive(&mut self, g: usize) -> Result<bool> {
+        // Heal first: catch-up streaming brings the rejoined node fully
+        // up to date, so frames still buffered behind a partition must
+        // drain before anything else judges survivor state.
+        let dt = {
+            let c = &self.groups[g];
+            self.partition_end[g].saturating_sub(c.now_ns()) + 5_000_000
+        };
+        let c = &mut self.groups[g];
+        c.advance_ns(dt)?;
+        let p = c.primary_index();
+        let mut any = false;
+        for i in 0..=c.config().replicas {
+            if i != p && !c.alive(i) {
+                c.rejoin(i)?;
+                self.damaged.remove(&(g, i));
+                any = true;
+            }
+        }
+        // A revive with nothing dead still healed partitions; count it
+        // applied so coverage reflects the generator's intent.
+        let _ = any;
+        Ok(true)
+    }
+
+    fn ev_failover(&mut self, g: usize) -> Result<bool> {
+        let c = &mut self.groups[g];
+        let p = c.primary_index();
+        let detect_end = c.now_ns() + c.config().detect_timeout_ns;
+        let replicas = c.config().replicas;
+        let promotable = (0..=replicas)
+            .any(|i| i != p && c.alive(i) && !c.net_mut().faults().partitioned_at(i, detect_end));
+        if !promotable {
+            return Ok(false);
+        }
+        c.kill_primary()?;
+        Ok(true)
+    }
+
+    fn ev_gc_drain(&mut self, g: usize) -> Result<bool> {
+        let buggy = self.cfg.buggy_gc;
+        let c = &mut self.groups[g];
+        flush_with_retry(c.primary_store_mut());
+        let mut errs = 0u32;
+        for _ in 0..64 {
+            // The correct path is the *cluster-level* GC step, which
+            // replicates the sequence range the fixups consume. The
+            // buggy knob deliberately runs store-level GC with the
+            // retire-before-sync bug — in debug builds the ordering
+            // auditor panics, and either way the unshipped sequence
+            // range diverges the replicas, so the oracle fails too.
+            let step = if buggy {
+                c.primary_store_mut()
+                    .vlog_gc_step_retire_before_sync(1 << 20)
+            } else {
+                c.vlog_gc_step(1 << 20)
+            };
+            match step {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(_) => {
+                    errs += 1;
+                    if errs > 4 {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn ev_scrub_pass(&mut self, g: usize) -> Result<bool> {
+        let store = self.groups[g].primary_store_mut();
+        if !scrub_until_full_pass(store) {
+            self.violations
+                .push(format!("group {g}: scheduled scrub never finished a pass"));
+        }
+        Ok(true)
+    }
+
+    fn ev_migrate(&mut self, bucket: u32, to: usize) -> Result<bool> {
+        let b = bucket % BUCKETS;
+        let to = to % self.cfg.groups;
+        if self.route(b) == to {
+            return Ok(false);
+        }
+        let entries: Vec<(u32, Option<Vec<u8>>)> = self
+            .promised
+            .iter()
+            .filter(|(idx, _)| *idx % BUCKETS == b)
+            .map(|(idx, v)| (*idx, v.clone()))
+            .collect();
+        for (idx, value) in entries {
+            let key = key_bytes(idx);
+            let res = match &value {
+                Some(v) => self.groups[to].put(&key, v),
+                None => self.groups[to].delete(&key),
+            };
+            if res.is_err() {
+                // Abort: the bucket keeps routing to its old group,
+                // which still holds every promised value; the target
+                // group stays internally convergent (committed batches
+                // ship even when the write errors).
+                return Ok(false);
+            }
+        }
+        self.overrides.insert(b, to);
+        Ok(true)
+    }
+
+    /// Runs the epilogue (heal, rejoin, settle, verification scrub)
+    /// and the oracle. Consumes nothing: the harness can still be
+    /// inspected afterwards, but `check` is meant to run once, after
+    /// the full schedule.
+    pub fn check(&mut self) -> Result<OracleReport> {
+        let mut report = OracleReport {
+            groups: self.cfg.groups,
+            events_applied: self.applied,
+            events_skipped: self.skipped,
+            coverage: self.coverage.clone(),
+            violations: std::mem::take(&mut self.violations),
+            ..OracleReport::default()
+        };
+        for g in 0..self.cfg.groups {
+            // 1. Clear injected device fault state (scrub already
+            //    realized permanent damage as quarantine/repair when
+            //    it was planted).
+            let c = &mut self.groups[g];
+            with_primary_faults(c, |f| {
+                f.disarm_torn_writes();
+                f.clear_corruption();
+                f.clear_fail_slow();
+                f.clear_persistent_faults();
+            });
+            // 2. Step past every scheduled partition heal bound so
+            //    buffered frames drain, then rejoin the dead.
+            let dt = self.partition_end[g].saturating_sub(c.now_ns()) + 5_000_000;
+            c.advance_ns(dt)?;
+            let p = c.primary_index();
+            for i in 0..=c.config().replicas {
+                if i != p && !c.alive(i) {
+                    c.rejoin(i)?;
+                    self.damaged.remove(&(g, i));
+                }
+            }
+            c.settle()?;
+            // 3. Verification scrub over tables and value log.
+            if !scrub_until_full_pass(c.primary_store_mut()) {
+                report
+                    .violations
+                    .push(format!("group {g}: epilogue scrub never finished a pass"));
+            }
+            // 4. Durability: no acked write may be lost cluster-wide.
+            let mut deep = None;
+            let mut audit_err = None;
+            for _ in 0..5 {
+                match c.audit_deep() {
+                    Ok(r) => {
+                        deep = Some(r);
+                        break;
+                    }
+                    Err(e) => audit_err = Some(e),
+                }
+            }
+            match deep {
+                Some(r) => {
+                    report.acked_writes += r.acked_writes;
+                    report.primary_misses += r.primary_misses;
+                    report.acked_lost += r.acked_lost;
+                    if r.acked_lost > 0 {
+                        report.violations.push(format!(
+                            "group {g}: {} acked writes lost on every survivor",
+                            r.acked_lost
+                        ));
+                    }
+                }
+                None => report.violations.push(format!(
+                    "group {g}: deep audit kept failing: {}",
+                    audit_err.map_or_else(|| "no error captured".to_string(), |e| e.to_string())
+                )),
+            }
+            // 5. Survivor agreement among undamaged live nodes.
+            let mut hashes: Vec<(usize, u64)> = Vec::new();
+            for i in 0..=c.config().replicas {
+                if !c.alive(i) || self.damaged.contains(&(g, i)) {
+                    continue;
+                }
+                for _ in 0..4 {
+                    if let Ok(h) = c.state_hash_of(i) {
+                        hashes.push((i, h));
+                        break;
+                    }
+                }
+            }
+            if hashes.len() >= 2 {
+                report.hash_groups_checked += 1;
+                if hashes.iter().any(|&(_, h)| h != hashes[0].1) {
+                    report.violations.push(format!(
+                        "group {g}: survivor state hashes diverge: {hashes:?}"
+                    ));
+                }
+            }
+            // 6. Scrub accounting rollup.
+            let s: ScrubReport = *c.primary_store_mut().scrub_report();
+            report.scrub_blocks_corrupt += s.blocks_corrupt;
+            report.scrub_blocks_corrected += s.blocks_corrected;
+            report.scrub_blocks_lost += s.blocks_lost;
+            report.scrub_files_repaired += s.files_repaired;
+            report.scrub_files_quarantined += s.files_quarantined;
+            report.failovers += c.stats.failovers;
+        }
+        // 7. Routing-level durability: the promised value must be
+        //    served by some live node of the group the key routes to
+        //    today, across any migrations.
+        let expected: Vec<(u32, Option<Vec<u8>>)> =
+            self.promised.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (idx, want) in expected {
+            let g = self.route(idx);
+            let key = key_bytes(idx);
+            let c = &mut self.groups[g];
+            let p = c.primary_index();
+            let mut order = vec![p];
+            order.extend((0..=c.config().replicas).filter(|&i| i != p));
+            let mut held = false;
+            for i in order {
+                if !c.alive(i) {
+                    continue;
+                }
+                if matches!(get_with_retry(c, i, &key), Ok(v) if v == want) {
+                    held = true;
+                    break;
+                }
+            }
+            report.promised_checked += 1;
+            if !held {
+                report.promised_lost += 1;
+            }
+        }
+        if report.promised_lost > 0 {
+            report.violations.push(format!(
+                "{} of {} promised keys unreadable on their routed group",
+                report.promised_lost, report.promised_checked
+            ));
+        }
+        // 8. Every corrupt block found must be remediated somewhere:
+        //    corrected in place, counted lost, or quarantined with its
+        //    file/segment.
+        if report.scrub_blocks_corrected + report.scrub_blocks_lost + report.scrub_files_quarantined
+            < report.scrub_blocks_corrupt
+        {
+            report.violations.push(format!(
+                "scrub accounting leaks: corrupt={} > corrected={} + lost={} + quarantined={}",
+                report.scrub_blocks_corrupt,
+                report.scrub_blocks_corrected,
+                report.scrub_blocks_lost,
+                report.scrub_files_quarantined
+            ));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::generate;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig {
+            events: 16,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn generated_schedules_uphold_the_oracle() {
+        for seed in 1..=3u64 {
+            let cfg = small();
+            let events = generate(seed, &cfg);
+            let mut h = ChaosHarness::new(cfg, seed).unwrap();
+            let report = h.run(&events).unwrap();
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(report.acked_writes > 0, "seed {seed} served no traffic");
+            assert_eq!(report.acked_lost, 0);
+            assert_eq!(report.promised_lost, 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_same_report() {
+        let cfg = small();
+        let events = generate(11, &cfg);
+        let r1 = ChaosHarness::new(cfg.clone(), 11)
+            .unwrap()
+            .run(&events)
+            .unwrap();
+        let r2 = ChaosHarness::new(cfg, 11).unwrap().run(&events).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn migration_moves_a_bucket_and_keeps_promises() {
+        let cfg = ChaosConfig {
+            events: 4,
+            ..ChaosConfig::default()
+        };
+        let mut h = ChaosHarness::new(cfg, 5).unwrap();
+        h.apply_event(&ChaosEvent::WriteBurst { base: 0, count: 64 })
+            .unwrap();
+        // Move bucket 3 to whichever group it does not live on.
+        let before = h.route(3);
+        let to = (before + 1) % 2;
+        assert!(h
+            .apply_event(&ChaosEvent::Migrate { bucket: 3, to })
+            .unwrap());
+        assert_eq!(h.route(3), to);
+        let report = h.check().unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.promised_lost, 0);
+    }
+
+    #[test]
+    fn composed_kill_partition_and_device_damage_pass_the_oracle() {
+        // A hand-built worst-plausible composition: traffic, a replica
+        // kill in group 0, a partition in group 1, permanent device
+        // damage on group 0's primary, a failover in group 1 after its
+        // partition heals, GC and scrub in the middle, migration under
+        // the kill, then more traffic.
+        let cfg = ChaosConfig {
+            events: 0,
+            ..ChaosConfig::default()
+        };
+        use ChaosEvent::*;
+        let events = vec![
+            WriteBurst { base: 0, count: 80 },
+            KillReplica { group: 0, pick: 0 },
+            Partition {
+                group: 1,
+                pick: 0,
+                dur_ns: 20_000_000,
+            },
+            WriteBurst {
+                base: 16,
+                count: 48,
+            },
+            UnrecoverableRead { group: 0 },
+            GcDrain { group: 0 },
+            Migrate { bucket: 2, to: 1 },
+            Migrate { bucket: 5, to: 0 },
+            ScrubPass { group: 1 },
+            Revive { group: 1 },
+            Failover { group: 1 },
+            TornWrite { group: 0 },
+            WriteBurst {
+                base: 40,
+                count: 48,
+            },
+            Revive { group: 0 },
+            Revive { group: 1 },
+        ];
+        let mut h = ChaosHarness::new(cfg, 99).unwrap();
+        let report = h.run(&events).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.failovers >= 1);
+        assert!(report.coverage.device_classes() >= 2);
+        assert!(report.coverage.cluster_classes() >= 3);
+    }
+}

@@ -324,11 +324,69 @@ pub fn group_fits(head: &WriteBatch, next: &WriteBatch, cap: usize) -> bool {
 /// first wait), saturating, clamped to `max_ns` — with both knobs
 /// floored at 1 ns so a zero config cannot spin the retry loop without
 /// advancing the simulated clock. Shared by the degraded read path and
-/// by replication failover clients modelling redirect retries.
-pub fn bounded_backoff_ns(base_ns: u64, max_ns: u64, attempt: u32) -> u64 {
-    let base = base_ns.max(1);
-    let cap = max_ns.max(base);
-    base.saturating_mul(1u64 << attempt.min(62)).min(cap)
+/// by replication failover clients modelling redirect retries. The
+/// formula now lives in [`smr_sim::backoff`] (with an optional
+/// jittered [`smr_sim::Backoff`] policy); this re-export keeps the
+/// historical `seal_front::bounded_backoff_ns` path working.
+pub use smr_sim::backoff::bounded_backoff_ns;
+
+/// Per-client error-budget accounting with *at-most-once-per-op*
+/// failure counting.
+///
+/// An operation can fail at more than one point in its life — a
+/// failover redirect that times out *and* a read that then exhausts
+/// its retry budget. Charging the client once per failure point
+/// double-counts the op and trips the budget early (the historical
+/// serve-loop accounting charged each site separately); this helper
+/// pins the contract that one operation costs at most one unit of
+/// budget no matter how many ways it failed.
+#[derive(Clone, Debug)]
+pub struct ClientBudget {
+    /// Failure budget per client; a client at or past it gives up.
+    budget: u64,
+    /// Failed-op tally per client.
+    failures: Vec<u64>,
+    /// Clients that already gave up (latched).
+    gave_up: Vec<bool>,
+}
+
+impl ClientBudget {
+    /// A fresh accountant for `clients` clients with the given budget
+    /// (floored at 1, like the serve loop always did).
+    pub fn new(clients: usize, budget: u64) -> Self {
+        ClientBudget {
+            budget: budget.max(1),
+            failures: vec![0; clients],
+            gave_up: vec![false; clients],
+        }
+    }
+
+    /// Records the outcome of ONE operation for `client` that observed
+    /// `failure_events` distinct failure points (0 = clean). The op is
+    /// charged at most one unit of budget regardless of how many points
+    /// it failed at. Returns `true` exactly when this op newly tripped
+    /// the client's budget (the caller abandons the client's remaining
+    /// work once).
+    pub fn note_op(&mut self, client: usize, failure_events: u32) -> bool {
+        if failure_events > 0 {
+            self.failures[client] += 1;
+        }
+        if !self.gave_up[client] && self.failures[client] >= self.budget {
+            self.gave_up[client] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Failed ops charged to `client` so far.
+    pub fn failures(&self, client: usize) -> u64 {
+        self.failures[client]
+    }
+
+    /// True once `client` has blown its budget.
+    pub fn tripped(&self, client: usize) -> bool {
+        self.gave_up[client]
+    }
 }
 
 /// A point read that survives device faults: on error, back off on the
@@ -440,9 +498,9 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
     let mut vlog_gc_steps = 0u64;
     let mut abandoned_ops = 0u64;
     let mut clients_abandoned = 0u64;
-    // Per-client failed-read tallies for the error budget.
-    let mut client_failures: Vec<u64> = vec![0; cfg.clients];
-    let mut gave_up: Vec<bool> = vec![false; cfg.clients];
+    // Per-client failed-op accounting; each op charges at most one
+    // unit of budget no matter how many points it failed at.
+    let mut budget = ClientBudget::new(cfg.clients, cfg.client_error_budget);
 
     while completed + abandoned_ops < cfg.total_ops {
         // Admit every arrival at or before the current clock. Open-loop
@@ -523,6 +581,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         let head = pending.pop_front().expect("non-empty queue");
         let head_client = head.client;
         let mut members: Vec<(u64, usize)> = vec![(head.arrival_ns, head.client)];
+        let mut op_failure_events = 0u32;
         match head.op {
             Op::Write(mut batch) => {
                 loop {
@@ -556,7 +615,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 }
                 if out.failed {
                     failed_reads += 1;
-                    client_failures[head_client] += 1;
+                    op_failure_events += 1;
                 }
                 if out.value.is_some() {
                     hits += 1;
@@ -574,7 +633,7 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
                 }
                 if out.failed {
                     failed_reads += 1;
-                    client_failures[head_client] += 1;
+                    op_failure_events += 1;
                 }
                 if out.value.is_some() {
                     hits += 1;
@@ -587,9 +646,9 @@ fn serve_loop(store: &mut Store, gen: &RecordGenerator, cfg: &ServeConfig) -> Re
         // A client that has blown its error budget walks away: whatever
         // it had not yet issued is abandoned, not served. Checked before
         // completion bookkeeping so a closed-loop client that just gave
-        // up does not reissue.
-        if !gave_up[head_client] && client_failures[head_client] >= cfg.client_error_budget.max(1) {
-            gave_up[head_client] = true;
+        // up does not reissue. The accountant charges the op at most
+        // once however many points it failed at.
+        if budget.note_op(head_client, op_failure_events) {
             clients_abandoned += 1;
             abandoned_ops += remaining[head_client];
             remaining[head_client] = 0;
@@ -979,6 +1038,42 @@ mod tests {
         assert_eq!(bounded_backoff_ns(500_000, 1, 5), 500_000);
         assert_eq!(bounded_backoff_ns(0, 0, 0), 1);
         assert_eq!(bounded_backoff_ns(0, 0, 10), 1);
+    }
+
+    /// The boundary the redirect-plus-retry bug lived on: an op that
+    /// fails at TWO points (failover redirect timed out AND the read
+    /// exhausted its retries) charges the client's budget exactly once.
+    /// Under the old per-site accounting a budget of 2 tripped after
+    /// one such op; it must take two failing ops.
+    #[test]
+    fn error_budget_charges_each_op_at_most_once() {
+        let mut b = ClientBudget::new(2, 2);
+        // One op, two failure events: one charge, budget not tripped.
+        assert!(!b.note_op(0, 2));
+        assert_eq!(b.failures(0), 1);
+        assert!(!b.tripped(0));
+        // A clean op charges nothing.
+        assert!(!b.note_op(0, 0));
+        assert_eq!(b.failures(0), 1);
+        // The second failing op (again double-failed) trips the budget,
+        // exactly once — the latch never re-fires.
+        assert!(b.note_op(0, 2));
+        assert!(b.tripped(0));
+        assert!(!b.note_op(0, 1));
+        assert_eq!(b.failures(0), 3);
+        // Other clients are untouched.
+        assert_eq!(b.failures(1), 0);
+        assert!(!b.tripped(1));
+    }
+
+    /// A zero configured budget behaves like 1 (the serve loop's
+    /// historical `.max(1)` floor): the first failing op trips it.
+    #[test]
+    fn error_budget_zero_floors_at_one() {
+        let mut b = ClientBudget::new(1, 0);
+        assert!(!b.note_op(0, 0));
+        assert!(b.note_op(0, 1));
+        assert!(b.tripped(0));
     }
 
     #[test]

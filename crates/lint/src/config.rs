@@ -145,6 +145,7 @@ pub fn default_scope(rule: Rule) -> Vec<&'static str> {
             "crates/shard/src/**",
             "crates/lint/src/**",
             "crates/vlog/src/**",
+            "crates/chaos/src/**",
             "src/lib.rs",
         ],
         // The durability-ordering family applies to all crate sources:

@@ -38,6 +38,7 @@ impl LevelIterator {
     }
 
     fn open_current(&mut self) {
+        self.stash_cur_error();
         self.cur = None;
         let Some(f) = self.files.get(self.idx) else {
             return;
@@ -48,10 +49,21 @@ impl LevelIterator {
         }
     }
 
+    /// Preserves the current table iterator's deferred error before the
+    /// iterator is replaced or dropped — a block-read failure turns a
+    /// table iterator invalid, which `skip_exhausted` would otherwise
+    /// mistake for a cleanly finished file and silently skip past.
+    fn stash_cur_error(&mut self) {
+        if let Some(e) = self.cur.as_mut().and_then(|c| c.take_error()) {
+            self.error.get_or_insert(e);
+        }
+    }
+
     fn skip_exhausted(&mut self) {
         while self.cur.as_ref().is_some_and(|c| !c.valid()) {
             self.idx += 1;
             if self.idx >= self.files.len() {
+                self.stash_cur_error();
                 self.cur = None;
                 return;
             }
@@ -60,11 +72,6 @@ impl LevelIterator {
                 c.seek_to_first();
             }
         }
-    }
-
-    /// First error encountered, if any.
-    pub fn take_error(&mut self) -> Option<Error> {
-        self.error.take()
     }
 }
 
@@ -107,6 +114,12 @@ impl InternalIterator for LevelIterator {
 
     fn value(&self) -> &[u8] {
         self.cur.as_ref().expect("valid iterator").value()
+    }
+
+    fn take_error(&mut self) -> Option<Error> {
+        self.error
+            .take()
+            .or_else(|| self.cur.as_mut().and_then(|c| c.take_error()))
     }
 }
 
@@ -165,6 +178,13 @@ impl<'a> DbIterator<'a> {
             }
         }
         None
+    }
+
+    /// Takes the first deferred read error any underlying source hit —
+    /// a scan that stopped on one looks exactly like a scan that
+    /// reached the end, so callers who care check this afterwards.
+    pub fn take_error(&mut self) -> Option<Error> {
+        self.inner.take_error()
     }
 
     /// Collects up to `limit` entries from the current position.

@@ -1074,6 +1074,17 @@ impl DbCore {
             }
             merged.next();
         }
+        // A child iterator that hit a read error went invalid, which the
+        // merge loop above cannot tell apart from a drained input. Bail
+        // out *before* installing the edit: proceeding would write
+        // outputs missing the unread tail and then delete the inputs —
+        // silent data loss behind a "successful" compaction. Nothing is
+        // installed yet, so the failed attempt leaves no state behind
+        // and the compaction is simply retried later.
+        if let Some(e) = merged.take_error() {
+            self.ctx.lock().fs.disk_mut().set_trace_tag(0);
+            return Err(e);
+        }
         if let Some(b) = builder.take() {
             if b.num_entries() > 0 {
                 Self::finish_output(&mut outputs, &mut self.versions, b);

@@ -21,6 +21,17 @@ pub trait InternalIterator {
     fn key(&self) -> &[u8];
     /// Current value. Requires `valid()`.
     fn value(&self) -> &[u8];
+    /// Takes the first deferred I/O or corruption error this iterator
+    /// (or any of its children) hit while loading data. An iterator
+    /// that hits an error simply turns invalid, which is
+    /// indistinguishable from a clean end-of-stream — so any caller
+    /// for whom a silently lost tail matters (compaction above all:
+    /// it *deletes its inputs* afterwards) must check this once
+    /// iteration stops. Defaults to `None` for purely in-memory
+    /// sources that cannot fail.
+    fn take_error(&mut self) -> Option<crate::error::Error> {
+        None
+    }
 }
 
 /// Merges N child iterators into one sorted stream (smallest internal key
@@ -101,6 +112,10 @@ impl<'a> InternalIterator for MergingIterator<'a> {
 
     fn value(&self) -> &[u8] {
         self.children[self.current.expect("value() on invalid iterator")].value()
+    }
+
+    fn take_error(&mut self) -> Option<crate::error::Error> {
+        self.children.iter_mut().find_map(|c| c.take_error())
     }
 }
 

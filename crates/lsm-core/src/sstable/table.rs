@@ -482,11 +482,6 @@ impl TableIterator {
             }
         }
     }
-
-    /// The first error encountered while loading blocks, if any.
-    pub fn take_error(&mut self) -> Option<crate::error::Error> {
-        self.error.take()
-    }
 }
 
 impl InternalIterator for TableIterator {
@@ -526,6 +521,10 @@ impl InternalIterator for TableIterator {
 
     fn value(&self) -> &[u8] {
         self.block_iter.as_ref().expect("valid iterator").value()
+    }
+
+    fn take_error(&mut self) -> Option<crate::error::Error> {
+        self.error.take()
     }
 }
 

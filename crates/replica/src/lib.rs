@@ -25,14 +25,14 @@
 //! Failover composes the earlier PRs: detection timeout, a fencing
 //! round with the surviving voters, promotion of the most-caught-up
 //! unpartitioned replica via the PR 1 crash-image recovery path, and a
-//! client redirect modelled with `seal-front`'s bounded retry backoff.
+//! client redirect modelled with `smr-sim`'s shared bounded backoff.
 //! The old primary rejoins as a replica by catch-up streaming of the
 //! full replicated log. Everything rides the simulated clock: the same
 //! configuration and seed replays byte-identically.
 
 use lsm_core::{Error, LogWriter, Result, ValueType, WalStream, WriteBatch};
-use sealdb::{Store, StoreConfig, StoreKind};
-use smr_sim::{IoKind, NetModel, ObsLayer};
+use sealdb::{Store, StoreConfig, StoreKind, VlogParams};
+use smr_sim::{Backoff, IoKind, NetModel, ObsLayer};
 use std::collections::BTreeMap;
 
 /// File id of the replica-side ship log in [`ShipMode::IndexLazy`].
@@ -119,10 +119,17 @@ pub struct ReplicaConfig {
     /// writes.
     pub ship_every: usize,
     /// Client redirect retry backoff base, ns (see
-    /// [`seal_front::bounded_backoff_ns`]).
+    /// [`smr_sim::Backoff`]).
     pub retry_backoff_ns: u64,
     /// Client redirect retry backoff cap, ns.
     pub retry_backoff_max_ns: u64,
+    /// Key-value separation parameters for every node store; `None`
+    /// stores values inline. Only valid with [`ShipMode::WalApply`]:
+    /// the primary ships its *original* batch bytes and each node
+    /// rewrites them through its own value log, whereas `IndexLazy`
+    /// promotion replays the raw ship log straight into the engine,
+    /// bypassing the rewrite and leaving diverted values unreadable.
+    pub vlog: Option<VlogParams>,
 }
 
 impl ReplicaConfig {
@@ -142,7 +149,14 @@ impl ReplicaConfig {
             ship_every: 8,
             retry_backoff_ns: 500_000,
             retry_backoff_max_ns: 8_000_000,
+            vlog: None,
         }
+    }
+
+    /// Enables key-value separation on every node store.
+    pub fn with_vlog(mut self, params: VlogParams) -> Self {
+        self.vlog = Some(params);
+        self
     }
 }
 
@@ -196,6 +210,19 @@ pub struct AuditReport {
     /// Distinct keys acknowledged to clients.
     pub acked_writes: u64,
     /// Acked keys the current primary no longer serves correctly.
+    pub acked_lost: u64,
+}
+
+/// Result of checking every acked write against every live node (see
+/// [`Cluster::audit_deep`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeepAuditReport {
+    /// Distinct keys acknowledged to clients.
+    pub acked_writes: u64,
+    /// Acked keys the current primary misserves (repairable as long as
+    /// some other live node still holds them).
+    pub primary_misses: u64,
+    /// Acked keys no live node serves correctly — unrecoverable loss.
     pub acked_lost: u64,
 }
 
@@ -287,6 +314,14 @@ impl Cluster {
     /// the primary.
     pub fn new(cfg: ReplicaConfig) -> Result<Cluster> {
         assert!(cfg.replicas >= 1, "a cluster needs at least one replica");
+        if cfg.mode == ShipMode::IndexLazy && cfg.vlog.is_some() {
+            return Err(Error::InvalidArgument(
+                "IndexLazy replication cannot run with key-value separation: \
+                 promotion replays the raw ship log, bypassing the per-node \
+                 value-log rewrite"
+                    .to_string(),
+            ));
+        }
         let mut net = NetModel::new(cfg.seed ^ 0x05EA_14E7, cfg.link_latency_ns);
         net.set_drop_permille(cfg.drop_permille);
         let mut cluster = Cluster {
@@ -317,7 +352,10 @@ impl Cluster {
             .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // An acked write must survive the node's own reopen.
         sc.sync_writes = true;
-        sc.build()
+        match self.cfg.vlog {
+            Some(params) => sc.with_vlog(params).build(),
+            None => sc.build(),
+        }
     }
 
     /// The cluster configuration.
@@ -418,7 +456,7 @@ impl Cluster {
         self.pump_all(self.now_ns)?;
         let p = self.primary;
         self.sync_node_clock(p, self.now_ns);
-        let (rep, last, entries, clock) = {
+        let (rep, last, entries, clock, write_err) = {
             let store = self.nodes[p].store.as_mut().ok_or_else(|| {
                 Error::InvalidArgument(format!("primary node {p} is dead; cannot write"))
             })?;
@@ -436,10 +474,37 @@ impl Cluster {
                     (k.to_vec(), promised)
                 })
                 .collect();
-            store.write(batch)?;
-            (rep, last, entries, store.clock_ns())
+            let res = store.write(batch);
+            let committed = store.last_sequence() >= last;
+            let clock = store.clock_ns();
+            (rep, last, entries, clock, res.err().map(|e| (e, committed)))
         };
         self.now_ns = self.now_ns.max(clock);
+        // The store commits (WAL + memtable, sequence advanced) before
+        // background maintenance runs, so a write can error *after* the
+        // batch is locally durable — e.g. a transient device fault
+        // failing the triggered compaction. The client gets the error
+        // either way, but a committed batch MUST still ship: replicas
+        // refuse sequence gaps, so swallowing it would poison every
+        // later frame and quietly diverge the primary from its replicas
+        // (found by the chaos harness's composed-fault schedules).
+        if let Some((e, committed)) = write_err {
+            if committed {
+                match self.cfg.ack {
+                    AckPolicy::PrimaryOnly => {
+                        self.unshipped.push(Unshipped {
+                            rep,
+                            last_seq: last,
+                        });
+                    }
+                    AckPolicy::Quorum(_) | AckPolicy::All => {
+                        // Best-effort ship; no ack was promised.
+                        let _ = self.ship_rep(&rep, last);
+                    }
+                }
+            }
+            return Err(e);
+        }
         match self.cfg.ack {
             AckPolicy::PrimaryOnly => {
                 self.unshipped.push(Unshipped {
@@ -539,6 +604,55 @@ impl Cluster {
         Ok(())
     }
 
+    /// Runs one budgeted cooperative value-log GC step on the primary
+    /// and replicates the sequence range its pointer fixups consumed.
+    ///
+    /// GC fixups go through the primary's unaccounted write path, so
+    /// they advance the primary's sequence counter like any client
+    /// write — but they carry *pointers into the primary's own value
+    /// log*, which mean nothing on another node. Running store-level GC
+    /// on a replicated primary therefore silently opens a sequence gap
+    /// that makes every later shipped frame unappliable (the chaos
+    /// harness found exactly this). This method closes the gap: it
+    /// ships the relocated records' **original values**, stamped with
+    /// the consumed sequence range; each replica's apply path rewrites
+    /// them through its *own* value log, so logical state converges
+    /// while pointers stay node-local. Shipping is best-effort (GC
+    /// promises no client ack) — unreachable replicas catch up from
+    /// the frame history on rejoin. Returns whether any GC work was
+    /// done.
+    pub fn vlog_gc_step(&mut self, budget_bytes: u64) -> Result<bool> {
+        self.pump_all(self.now_ns)?;
+        let p = self.primary;
+        self.sync_node_clock(p, self.now_ns);
+        let (shipment, clock) = {
+            let store = self.nodes[p].store.as_mut().ok_or_else(|| {
+                Error::InvalidArgument(format!("primary node {p} is dead; cannot run GC"))
+            })?;
+            let shipment = store.vlog_gc_step_shipping(budget_bytes)?;
+            (shipment, store.clock_ns())
+        };
+        self.now_ns = self.now_ns.max(clock);
+        let Some(shipment) = shipment else {
+            return Ok(false);
+        };
+        if !shipment.entries.is_empty() {
+            let mut batch = WriteBatch::new();
+            for (k, v) in &shipment.entries {
+                batch.put(k, v);
+            }
+            batch.set_sequence(shipment.first_seq);
+            let last = shipment.first_seq + u64::from(batch.count()) - 1;
+            let _ = self.ship_rep(batch.rep(), last);
+        }
+        // Surfaced only now: even a failed barrier leaves the fixups'
+        // sequence range consumed, so the ship above must happen first.
+        if let Some(e) = shipment.barrier_error {
+            return Err(e);
+        }
+        Ok(true)
+    }
+
     // ----- replica receive path -----
 
     /// Processes every delivery already due at the cluster clock. The
@@ -546,6 +660,27 @@ impl Cluster {
     /// replica state (e.g. [`Cluster::durable_seq`]) mid-stream.
     pub fn settle(&mut self) -> Result<()> {
         self.pump_all(self.now_ns)
+    }
+
+    /// Advances the cluster clock by `dt_ns` and delivers everything
+    /// that becomes due — how the chaos harness steps past a finite
+    /// partition's heal bound so frames buffered behind it drain
+    /// deterministically before the oracle runs.
+    pub fn advance_ns(&mut self, dt_ns: u64) -> Result<()> {
+        self.now_ns = self.now_ns.saturating_add(dt_ns);
+        self.settle()
+    }
+
+    /// Reads `key` on node `idx` at the cluster clock — the per-survivor
+    /// read path the chaos oracle uses to check a promised value against
+    /// every live node, not just the primary. A dead node is an error.
+    pub fn get_of(&mut self, idx: usize, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.sync_node_clock(idx, self.now_ns);
+        let store = self.nodes[idx]
+            .store
+            .as_mut()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {idx} is dead; cannot read")))?;
+        store.get(key)
     }
 
     /// Processes every due delivery on every live replica up to `t_ns`.
@@ -622,6 +757,47 @@ impl Cluster {
         self.failover(kill_ns)
     }
 
+    /// Kills a non-primary node at the cluster clock: its store and any
+    /// frames still in flight to it are gone. The cluster keeps serving
+    /// as long as the ack policy can still be met; the node can come
+    /// back later via [`Cluster::rejoin`].
+    pub fn kill_replica(&mut self, idx: usize) -> Result<()> {
+        if idx == self.primary {
+            return Err(Error::InvalidArgument(format!(
+                "node {idx} is the primary; use kill_primary for a failover"
+            )));
+        }
+        if self.nodes[idx].store.is_none() {
+            return Err(Error::InvalidArgument(format!(
+                "node {idx} is already dead"
+            )));
+        }
+        self.net.faults_mut().kill(idx, self.now_ns);
+        self.nodes[idx].store = None;
+        self.nodes[idx].pending.clear();
+        Ok(())
+    }
+
+    /// Power-cycles the current primary in place: the store restarts
+    /// from its durable on-disk state through the crash-image recovery
+    /// path (WAL replay, manifest quarantine, value-log torn-tail
+    /// scan), exactly as if the machine lost power and came back. The
+    /// primary keeps its role — no failover, no fencing — so this
+    /// models a fast reboot rather than a kill. Returns the number of
+    /// WAL records recovery replayed.
+    pub fn restart_primary(&mut self) -> Result<u64> {
+        let p = self.primary;
+        self.sync_node_clock(p, self.now_ns);
+        let store = self.nodes[p].store.take().ok_or_else(|| {
+            Error::InvalidArgument(format!("primary node {p} is dead; cannot restart"))
+        })?;
+        let store = store.reopen()?;
+        let replayed = store.db.recovery_report().wal_records_recovered;
+        self.now_ns = self.now_ns.max(store.clock_ns());
+        self.nodes[p].store = Some(store);
+        Ok(replayed)
+    }
+
     fn failover(&mut self, kill_ns: u64) -> Result<FailoverReport> {
         let detect_ns = self.cfg.detect_timeout_ns;
         let detect_end = kill_ns + detect_ns;
@@ -689,14 +865,11 @@ impl Cluster {
         let redirect_ns = self.net.sample_latency_ns(client, candidate, m3)
             + self.net.sample_latency_ns(candidate, client, m4);
         let rto_ns = detect_ns + fence_ns + replay_ns + redirect_ns;
+        let backoff = Backoff::new(self.cfg.retry_backoff_ns, self.cfg.retry_backoff_max_ns);
         let mut waited = 0u64;
         let mut retries = 0u32;
         while waited < rto_ns && retries < MAX_CLIENT_RETRIES {
-            waited += seal_front::bounded_backoff_ns(
-                self.cfg.retry_backoff_ns,
-                self.cfg.retry_backoff_max_ns,
-                retries,
-            );
+            waited += backoff.delay_ns(retries);
             retries += 1;
         }
         {
@@ -790,15 +963,77 @@ impl Cluster {
         })
     }
 
+    /// Checks every acked write against the primary *and*, for keys the
+    /// primary misserves, against every other live node. A key counts
+    /// as lost only when **no** live store returns the promised value —
+    /// the cluster-wide durability oracle the chaos harness asserts on:
+    /// a lagging primary is a repairable inconsistency, but a key no
+    /// survivor holds is unrecoverable acked-write loss.
+    ///
+    /// A node whose `get` *errors* counts as not holding the key — a
+    /// degraded read (for example a fail-closed pointer chase into a
+    /// quarantined value-log segment after media failure) is a miss on
+    /// that node, not grounds to abort the audit: the question the
+    /// oracle answers is whether any survivor still serves the value.
+    pub fn audit_deep(&mut self) -> Result<DeepAuditReport> {
+        self.pump_all(self.now_ns)?;
+        let expected: Vec<(Vec<u8>, Option<Vec<u8>>)> = self
+            .acked
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].store.is_some())
+            .collect();
+        for &i in &live {
+            self.sync_node_clock(i, self.now_ns);
+        }
+        let p = self.primary;
+        let mut primary_misses = 0u64;
+        let mut lost = 0u64;
+        for (k, v) in expected {
+            let on_primary = match self.nodes[p].store.as_mut() {
+                Some(store) => store.get(&k).is_ok_and(|got| got == v),
+                None => false,
+            };
+            if on_primary {
+                continue;
+            }
+            primary_misses += 1;
+            let mut held = false;
+            for &i in live.iter().filter(|&&i| i != p) {
+                let store = self.nodes[i].store.as_mut().expect("filtered live");
+                if store.get(&k).is_ok_and(|got| got == v) {
+                    held = true;
+                    break;
+                }
+            }
+            if !held {
+                lost += 1;
+            }
+        }
+        Ok(DeepAuditReport {
+            acked_writes: self.acked.len() as u64,
+            primary_misses,
+            acked_lost: lost,
+        })
+    }
+
     /// Order-independent FNV-1a digest of the primary's full key/value
     /// state — the cross-run promoted-state fingerprint determinism
     /// tests compare.
     pub fn state_hash(&mut self) -> Result<u64> {
-        let p = self.primary;
-        self.sync_node_clock(p, self.now_ns);
-        let store = self.nodes[p].store.as_mut().ok_or_else(|| {
-            Error::InvalidArgument(format!("primary node {p} is dead; cannot hash"))
-        })?;
+        self.state_hash_of(self.primary)
+    }
+
+    /// [`Cluster::state_hash`] for an arbitrary live node — survivor
+    /// agreement checks hash every caught-up node and compare.
+    pub fn state_hash_of(&mut self, idx: usize) -> Result<u64> {
+        self.sync_node_clock(idx, self.now_ns);
+        let store = self.nodes[idx]
+            .store
+            .as_mut()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {idx} is dead; cannot hash")))?;
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let fold = |h: &mut u64, bytes: &[u8]| {
             *h = (*h ^ bytes.len() as u64).wrapping_mul(0x100_0000_01b3);
@@ -1066,6 +1301,212 @@ mod tests {
         assert!(format!("{err:?}").contains("replica acks"));
         let err = c.kill_primary().unwrap_err();
         assert!(format!("{err:?}").contains("no promotable replica"));
+    }
+
+    #[test]
+    fn vlog_cluster_replicates_kills_and_fails_over_losslessly() {
+        // Key-value separation on every node: values large enough to
+        // divert, shipped as original bytes and rewritten through each
+        // node's own log.
+        let mut conf = cfg(2).with_vlog(sealdb::VlogParams {
+            segment_bytes: 32 << 10,
+            value_threshold: 64,
+            ..sealdb::VlogParams::default()
+        });
+        conf.ack = AckPolicy::All;
+        let mut c = Cluster::new(conf).unwrap();
+        for i in 0..40u32 {
+            c.put(&key(i), &vec![(i % 250) as u8; 1024]).unwrap();
+        }
+        c.settle().unwrap();
+        // Caught-up nodes agree on full state, pointer chases included.
+        let h1 = c.state_hash_of(1).unwrap();
+        let h2 = c.state_hash_of(2).unwrap();
+        assert_eq!(h1, h2, "caught-up replicas must hash identically");
+        assert_eq!(c.state_hash().unwrap(), h1);
+        // Failover: the promoted replica serves every diverted value.
+        c.kill_primary().unwrap();
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 40);
+        assert_eq!(audit.acked_lost, 0, "vlog values must survive failover");
+        let got = c.primary_store_mut().get(&key(11)).unwrap();
+        assert_eq!(got.as_deref(), Some(vec![11u8; 1024].as_slice()));
+    }
+
+    #[test]
+    fn cluster_gc_ships_fixup_sequences_and_replicas_stay_convergent() {
+        // Value-log GC writes pointer fixups through the primary's
+        // unaccounted write path, consuming sequence numbers. The
+        // cluster-level GC step must replicate that range (as original
+        // values, rewritten through each replica's own log) — running
+        // store-level GC instead would leave a sequence gap that makes
+        // every later frame unappliable.
+        let conf = cfg(2).with_vlog(sealdb::VlogParams {
+            segment_bytes: 8 << 10,
+            value_threshold: 64,
+            ..sealdb::VlogParams::default()
+        });
+        let mut c = Cluster::new(conf).unwrap();
+        // Several overwrite rounds: sealed segments fill with dead
+        // records, leaving live survivors for GC to relocate.
+        for round in 0..6u32 {
+            for i in 0..40u32 {
+                c.put(&key(i), &vec![(round + 1) as u8; 512]).unwrap();
+            }
+        }
+        c.primary_store_mut().flush().unwrap();
+        let before = c.primary_store_mut().last_sequence();
+        let mut steps = 0u32;
+        while c.vlog_gc_step(1 << 20).unwrap() {
+            steps += 1;
+            assert!(steps < 256, "GC never drained");
+        }
+        let after = c.primary_store_mut().last_sequence();
+        assert!(
+            after > before,
+            "GC relocated nothing; the test exercised no fixups"
+        );
+        // Later writes still apply everywhere and all nodes agree on
+        // the full logical state — the fixup range shipped cleanly.
+        for i in 100..110u32 {
+            c.put(&key(i), &value(i)).unwrap();
+        }
+        c.advance_ns(50_000_000).unwrap();
+        assert_eq!(c.durable_seq(1), c.primary_store_mut().last_sequence());
+        let h0 = c.state_hash_of(0).unwrap();
+        assert_eq!(h0, c.state_hash_of(1).unwrap());
+        assert_eq!(h0, c.state_hash_of(2).unwrap());
+    }
+
+    #[test]
+    fn index_lazy_with_vlog_is_refused() {
+        let mut conf = cfg(1).with_vlog(sealdb::VlogParams::default());
+        conf.mode = ShipMode::IndexLazy;
+        let err = Cluster::new(conf).unwrap_err();
+        assert!(format!("{err:?}").contains("IndexLazy"));
+    }
+
+    #[test]
+    fn killed_replica_rejoins_and_catches_up() {
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 10);
+        c.kill_replica(2).unwrap();
+        assert!(!c.alive(2));
+        // Quorum(1) still holds with one live replica.
+        load(&mut c, 10, 25);
+        let caught = c.rejoin(2).unwrap();
+        assert_eq!(caught, 25, "catch-up streams the full history");
+        c.settle().unwrap();
+        assert_eq!(c.state_hash_of(2).unwrap(), c.state_hash().unwrap());
+        // Guards: no killing the primary slot, no double kill.
+        let err = c.kill_replica(c.primary_index()).unwrap_err();
+        assert!(format!("{err:?}").contains("kill_primary"));
+        c.kill_replica(2).unwrap();
+        let err = c.kill_replica(2).unwrap_err();
+        assert!(format!("{err:?}").contains("already dead"));
+    }
+
+    #[test]
+    fn restart_primary_recovers_in_place_and_keeps_acked_writes() {
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 30);
+        let before = c.primary_index();
+        let replayed = c.restart_primary().unwrap();
+        assert_eq!(c.primary_index(), before, "a restart is not a failover");
+        assert_eq!(c.stats.failovers, 0);
+        let _ = replayed; // sync_writes: the tail may already be in tables
+        let audit = c.audit().unwrap();
+        assert_eq!(audit.acked_writes, 30);
+        assert_eq!(audit.acked_lost, 0, "power-cycle must lose nothing acked");
+        // Still a functional primary afterwards.
+        load(&mut c, 30, 35);
+        assert_eq!(c.audit().unwrap().acked_lost, 0);
+    }
+
+    #[test]
+    fn deep_audit_distinguishes_lagging_primary_from_true_loss() {
+        // PrimaryOnly + a kill: the unshipped tail is truly lost — no
+        // live node holds it — so the deep audit agrees with the
+        // primary-facing audit.
+        let mut conf = cfg(2);
+        conf.ack = AckPolicy::PrimaryOnly;
+        conf.ship_every = 8;
+        let mut c = Cluster::new(conf).unwrap();
+        load(&mut c, 0, 21);
+        c.kill_primary().unwrap();
+        let deep = c.audit_deep().unwrap();
+        assert_eq!(deep.acked_writes, 21);
+        assert_eq!(deep.primary_misses, 5);
+        assert_eq!(deep.acked_lost, 5, "an unshipped tail is lost everywhere");
+        // Quorum acks: nothing is ever lost anywhere.
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 21);
+        c.kill_primary().unwrap();
+        let deep = c.audit_deep().unwrap();
+        assert_eq!(deep.acked_lost, 0);
+        assert_eq!(deep.primary_misses, 0);
+    }
+
+    #[test]
+    fn committed_but_errored_write_still_ships_and_keeps_replicas_convergent() {
+        // A device fault can fail the compaction a write triggers
+        // *after* the batch committed (WAL + memtable, sequence
+        // advanced). The client sees the error, but the batch must
+        // still ship: replicas refuse sequence gaps, so a swallowed
+        // committed batch would poison every later frame. Transient
+        // read faults are retried inside the filestore, so the trigger
+        // here is a *persistent* read fault on a flushed table — the
+        // first compaction that reads it fails.
+        let mut c = Cluster::new(cfg(2)).unwrap();
+        load(&mut c, 0, 10);
+        {
+            let store = c.primary_store_mut();
+            store.flush().unwrap();
+            let version = store.db.current_version();
+            let file = version
+                .files
+                .iter()
+                .flatten()
+                .max_by_key(|f| f.size)
+                .unwrap()
+                .clone();
+            let ext = store.db.ctx().lock().fs.file_extent(file.id).unwrap();
+            store
+                .db
+                .ctx()
+                .lock()
+                .fs
+                .disk_mut()
+                .faults_mut()
+                .fail_reads_permanently(smr_sim::Extent::new(ext.offset + 64, 16));
+        }
+        // Overwrite the damaged table's key range so it overlaps every
+        // later flush and a compaction must read it.
+        let mut failed = 0u32;
+        for i in 10..2000 {
+            if c.put(&key(i % 50), &value(i)).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "no write tripped over the damaged table");
+        c.primary_store_mut()
+            .db
+            .ctx()
+            .lock()
+            .fs
+            .disk_mut()
+            .faults_mut()
+            .clear_persistent_faults();
+        // The stream stays healthy: later writes succeed and every
+        // surviving node agrees on the full logical state, including
+        // the committed-but-errored batches.
+        load(&mut c, 1200, 1210);
+        c.settle().unwrap();
+        let h0 = c.state_hash_of(0).unwrap();
+        assert_eq!(h0, c.state_hash_of(1).unwrap());
+        assert_eq!(h0, c.state_hash_of(2).unwrap());
+        let deep = c.audit_deep().unwrap();
+        assert_eq!(deep.acked_lost, 0);
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //! assert_eq!(snap.name, "SEALDB");
 //! ```
 
+/// Deliberately-broken entry points for chaos fault injection.
+pub mod chaos_knobs;
 /// Store construction configuration (drive kind, policy, sizes).
 pub mod config;
 /// Set-based placement over any allocator, with GC relocation.
@@ -50,4 +52,4 @@ pub use config::{StoreConfig, StoreKind};
 pub use policy::SetPolicy;
 pub use seal_vlog::{ValueLog, VlogParams};
 pub use set::{SetRegion, SetRegistry};
-pub use store::{MetricsSnapshot, Store, StoreSnapshot};
+pub use store::{GcShipment, MetricsSnapshot, Store, StoreSnapshot};

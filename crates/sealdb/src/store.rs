@@ -117,6 +117,47 @@ impl MetricsSnapshot {
     }
 }
 
+/// What a replication primary must ship after a cooperative-GC step
+/// (see [`Store::vlog_gc_step_shipping`]): the relocated live records
+/// and the sequence range their pointer fixups consumed locally.
+#[derive(Debug)]
+pub struct GcShipment {
+    /// Relocated live `(key, original value)` pairs, in fixup order.
+    /// Replicas apply these through their own value log; the pointer
+    /// each side ends up with is node-local.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// First sequence number the fixup batch consumed on the primary;
+    /// meaningful only when `entries` is non-empty. The shipped batch
+    /// must be stamped with this so replicas see no gap.
+    pub first_seq: u64,
+    /// Error from the fixup write's post-commit maintenance, the
+    /// durability barrier, or the victim retirement, if any. The fixups
+    /// consumed their sequence numbers *before* the failing stage ran,
+    /// so the shipment stays valid and a replication primary must ship
+    /// `entries` even when this is set — only then surface the error to
+    /// its caller.
+    pub barrier_error: Option<lsm_core::Error>,
+}
+
+/// Result of [`Store::vlog_gc_relocate`]: the victim scan's identity
+/// and progress plus everything a caller needs to finish (barrier,
+/// retirement) and, on a replication primary, to ship.
+pub(crate) struct GcRelocation {
+    /// Victim segment id.
+    pub(crate) victim: u64,
+    /// Whether the victim's scan finished (retire it after the barrier).
+    pub(crate) finished: bool,
+    /// Relocated live `(key, original value)` pairs, in fixup order.
+    pub(crate) entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// First sequence number the fixup batch consumed; meaningful only
+    /// when `entries` is non-empty.
+    pub(crate) first_seq: u64,
+    /// Post-commit error from the fixup write, if any. The sequence
+    /// range was consumed regardless — surface this only after any
+    /// shipping obligation is met.
+    pub(crate) error: Option<lsm_core::Error>,
+}
+
 impl Store {
     /// Inserts a key/value pair.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
@@ -137,10 +178,32 @@ impl Store {
     /// the pointers are written, so recovery can never drop a band an
     /// acked pointer references as an orphan.
     pub fn write(&mut self, batch: WriteBatch) -> Result<()> {
-        let Some(vlog) = self.vlog.as_mut() else {
+        if self.vlog.is_none() {
             return self.db.write(batch);
-        };
+        }
         let legacy_payload = batch.payload_bytes();
+        let rewritten = self.rewrite_through_vlog(&batch)?;
+        let new_payload = rewritten.payload_bytes();
+        self.db.write(rewritten)?;
+        // Keep the WA denominator comparable with the inline baseline:
+        // the user handed over the same bytes either way, regardless of
+        // whether the store kept a pointer or a tagged copy.
+        self.adjust_user_payload(legacy_payload, new_payload);
+        Ok(())
+    }
+
+    /// Rewrites `batch` through the value log: over-threshold values
+    /// are appended to the log *first* and replaced with pointers, the
+    /// rest are tagged inline, deletions note their dead records. Any
+    /// segment-directory change commits a manifest checkpoint before
+    /// the rewritten batch is returned (checkpoint-before-pointer), and
+    /// the ordering auditor sees every pointer. Shared by the primary
+    /// write path and the replica apply path
+    /// ([`Store::apply_replicated`]), so a replica with key-value
+    /// separation keeps its own log consistent with shipped batches.
+    /// Must only be called with a value log configured.
+    fn rewrite_through_vlog(&mut self, batch: &WriteBatch) -> Result<WriteBatch> {
+        let vlog = self.vlog.as_mut().expect("caller checked vlog");
         let mut rewritten = WriteBatch::new();
         let mut ptr_segments: Vec<u64> = Vec::new();
         for (_, ty, key, value) in batch.iter() {
@@ -192,16 +255,17 @@ impl Store {
                 a.record_pointer_write(now, seg);
             }
         }
-        let new_payload = rewritten.payload_bytes();
-        self.db.write(rewritten)?;
-        // Keep the WA denominator comparable with the inline baseline:
-        // the user handed over the same bytes either way, regardless of
-        // whether the store kept a pointer or a tagged copy.
+        Ok(rewritten)
+    }
+
+    /// Rebases the user-payload denominator after a vlog rewrite so WA
+    /// stays comparable with the inline baseline (the engine accounted
+    /// the rewritten bytes; the user handed over the legacy bytes).
+    fn adjust_user_payload(&mut self, legacy_payload: u64, new_payload: u64) {
         let ctx = self.db.ctx();
         let mut guard = ctx.lock();
         let stats = guard.fs.disk_mut().stats_mut();
         stats.user_payload = stats.user_payload - new_payload + legacy_payload;
-        Ok(())
     }
 
     /// Point lookup; chases value-log pointers transparently.
@@ -269,14 +333,110 @@ impl Store {
     /// The victim band returns to the allocator only after the fixups
     /// are durable. Returns whether any GC work was done.
     pub fn vlog_gc_step(&mut self, budget_bytes: u64) -> Result<bool> {
-        let Some(vlog) = self.vlog.as_mut() else {
+        let Some(relocation) = self.vlog_gc_relocate(budget_bytes)? else {
             return Ok(false);
+        };
+        if let Some(e) = relocation.error {
+            // No replicas to ship to here, so a post-commit fixup error
+            // surfaces immediately (the scan is unfinished; the next
+            // step re-picks the victim).
+            return Err(e);
+        }
+        let (victim, finished) = (relocation.victim, relocation.finished);
+        if finished {
+            // Durability barrier: the fixups must survive a crash before
+            // the victim's bytes can be freed, or recovery could replay
+            // pointers into a recycled band.
+            self.db.sync_wal()?;
+            if let Some(a) = self.ord_audit.as_mut() {
+                a.record_durable(self.db.clock_ns());
+                a.record_recycle(self.db.clock_ns(), victim);
+            }
+            let vlog = self.vlog.as_mut().expect("relocate checked vlog");
+            self.db
+                .with_fs_and_policy(|fs, policy| vlog.retire_segment(fs, policy, victim))?;
+            if vlog.take_dirty() {
+                let blob = vlog.checkpoint();
+                self.db.commit_aux_state(blob)?;
+                if let Some(a) = self.ord_audit.as_mut() {
+                    a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs one budgeted cooperative-GC step exactly like
+    /// [`Store::vlog_gc_step`] — same relocation, same
+    /// fixups-durable-before-recycle barrier — but additionally returns
+    /// what a replication primary must ship: GC fixups consume sequence
+    /// numbers on the primary (they go through the unaccounted write
+    /// path), so a primary that runs GC without shipping the consumed
+    /// range leaves every replica with a sequence gap that poisons all
+    /// later frames. The caller (see `seal-replica`'s
+    /// `Cluster::vlog_gc_step`) replicates the returned *original
+    /// values*; each replica rewrites them through its own value log, so
+    /// pointers stay node-local while the logical state converges.
+    /// Returns `None` when there was no GC work to do.
+    pub fn vlog_gc_step_shipping(&mut self, budget_bytes: u64) -> Result<Option<GcShipment>> {
+        let Some(relocation) = self.vlog_gc_relocate(budget_bytes)? else {
+            return Ok(None);
+        };
+        let mut barrier_error = relocation.error;
+        if relocation.finished {
+            // Durability barrier: the fixups must survive a crash before
+            // the victim's bytes can be freed, or recovery could replay
+            // pointers into a recycled band. An error past this point is
+            // reported through the shipment, not `Err` — the fixups
+            // already consumed sequence numbers, so the caller must get
+            // the shipment no matter how the barrier fares.
+            let finish = self.db.sync_wal().and_then(|()| {
+                if let Some(a) = self.ord_audit.as_mut() {
+                    a.record_durable(self.db.clock_ns());
+                    a.record_recycle(self.db.clock_ns(), relocation.victim);
+                }
+                let vlog = self.vlog.as_mut().expect("relocate checked vlog");
+                self.db.with_fs_and_policy(|fs, policy| {
+                    vlog.retire_segment(fs, policy, relocation.victim)
+                })?;
+                if vlog.take_dirty() {
+                    let blob = vlog.checkpoint();
+                    self.db.commit_aux_state(blob)?;
+                    if let Some(a) = self.ord_audit.as_mut() {
+                        a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+                    }
+                }
+                Ok(())
+            });
+            barrier_error = finish.err();
+        }
+        Ok(Some(GcShipment {
+            entries: relocation.entries,
+            first_seq: relocation.first_seq,
+            barrier_error,
+        }))
+    }
+
+    /// The scan/relocate/fixup half of one cooperative-GC step: picks
+    /// the victim scan, verifies liveness, relocates live records, and
+    /// writes pointer fixups through the unaccounted write path (with
+    /// the checkpoint-before-pointer ordering the append path uses).
+    /// Returns the victim segment id, whether its scan finished, and
+    /// the relocated live records with the sequence range their fixups
+    /// consumed — the caller owns the durability barrier, the
+    /// retirement, and (on a replication primary) shipping the consumed
+    /// range. Shared by [`Store::vlog_gc_step`] /
+    /// [`Store::vlog_gc_step_shipping`] (correct barrier) and the chaos
+    /// knob in `chaos_knobs.rs` (deliberately missing barrier).
+    pub(crate) fn vlog_gc_relocate(&mut self, budget_bytes: u64) -> Result<Option<GcRelocation>> {
+        let Some(vlog) = self.vlog.as_mut() else {
+            return Ok(None);
         };
         let Some(scan) = self
             .db
             .with_fs_and_policy(|fs, _| vlog.gc_scan(fs, budget_bytes))?
         else {
-            return Ok(false);
+            return Ok(None);
         };
         // While the log's dead-record accounting is exact (no reopen
         // since the log was created), every scan entry is provably live
@@ -286,6 +446,7 @@ impl Store {
         let exact = vlog.dead_is_exact();
         let mut fixups = WriteBatch::new();
         let mut ptr_segments: Vec<u64> = Vec::new();
+        let mut shipped: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for entry in &scan.entries {
             let live = exact
                 || match self.db.get(&entry.key)? {
@@ -303,6 +464,7 @@ impl Store {
             })?;
             ptr_segments.push(new_ptr.segment);
             fixups.put(&entry.key, &encode_pointer(new_ptr));
+            shipped.push((entry.key.clone(), entry.value.clone()));
         }
         // Same ordering rule as the append path: if relocation opened a
         // new band, the segment directory must commit before any fixup
@@ -315,7 +477,9 @@ impl Store {
                 a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
             }
         }
+        let first_seq = self.db.last_sequence() + 1;
         if !fixups.is_empty() {
+            let count = u64::from(fixups.count());
             if let Some(a) = self.ord_audit.as_mut() {
                 let now = self.db.clock_ns();
                 for &seg in &ptr_segments {
@@ -323,28 +487,35 @@ impl Store {
                 }
                 a.record_fixup_write(now, scan.segment);
             }
-            self.db.write_unaccounted(fixups)?;
-        }
-        if scan.finished {
-            // Durability barrier: the fixups must survive a crash before
-            // the victim's bytes can be freed, or recovery could replay
-            // pointers into a recycled band.
-            self.db.sync_wal()?;
-            if let Some(a) = self.ord_audit.as_mut() {
-                a.record_durable(self.db.clock_ns());
-                a.record_recycle(self.db.clock_ns(), scan.segment);
-            }
-            self.db
-                .with_fs_and_policy(|fs, policy| vlog.retire_segment(fs, policy, scan.segment))?;
-            if vlog.take_dirty() {
-                let blob = vlog.checkpoint();
-                self.db.commit_aux_state(blob)?;
-                if let Some(a) = self.ord_audit.as_mut() {
-                    a.record_checkpoint_commit(self.db.clock_ns(), &vlog.segment_ids());
+            if let Err(e) = self.db.write_unaccounted(fixups) {
+                if self.db.last_sequence() < first_seq + count - 1 {
+                    // The fixup batch never committed: no sequence
+                    // numbers were consumed, nothing to ship.
+                    return Err(e);
                 }
+                // Committed, then errored in post-commit maintenance
+                // (e.g. a faulted flush): the sequence range IS
+                // consumed, so the caller must still see the
+                // relocation — a replication primary has to ship it or
+                // every replica inherits a gap. Reporting the scan as
+                // unfinished defers the retire barrier; the next step
+                // rescans the victim and finds these records dead.
+                return Ok(Some(GcRelocation {
+                    victim: scan.segment,
+                    finished: false,
+                    entries: shipped,
+                    first_seq,
+                    error: Some(e),
+                }));
             }
         }
-        Ok(true)
+        Ok(Some(GcRelocation {
+            victim: scan.segment,
+            finished: scan.finished,
+            entries: shipped,
+            first_seq,
+            error: None,
+        }))
     }
 
     /// Whether the value log has a sealed segment awaiting GC.
@@ -358,8 +529,34 @@ impl Store {
     /// primary-assigned sequence range (see
     /// [`DbCore::apply_replicated`]). Returns `false` when the batch
     /// was already applied (duplicate frame).
+    ///
+    /// With key-value separation on, the shipped batch carries the
+    /// primary's *original* values (the primary rewrites through its
+    /// own log after capturing the wire bytes), so the replica rewrites
+    /// it through its **own** value log here — same divert threshold,
+    /// same checkpoint-before-pointer ordering — and re-stamps the
+    /// primary's sequence range on the rewritten batch. Duplicate
+    /// frames are rejected *before* the rewrite so a redelivery cannot
+    /// litter the replica's log with unreachable records.
     pub fn apply_replicated(&mut self, batch: lsm_core::WriteBatch) -> Result<bool> {
-        self.db.apply_replicated(batch)
+        if self.vlog.is_none() {
+            return self.db.apply_replicated(batch);
+        }
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let first = batch.sequence();
+        let last = first + u64::from(batch.count()) - 1;
+        if last <= self.db.last_sequence() {
+            return Ok(false);
+        }
+        let legacy_payload = batch.payload_bytes();
+        let mut rewritten = self.rewrite_through_vlog(&batch)?;
+        rewritten.set_sequence(first);
+        let new_payload = rewritten.payload_bytes();
+        let applied = self.db.apply_replicated(rewritten)?;
+        self.adjust_user_payload(legacy_payload, new_payload);
+        Ok(applied)
     }
 
     /// Highest sequence number assigned (primary) or applied (replica).
@@ -1035,6 +1232,120 @@ mod tests {
             s.metrics_snapshot().to_json(64)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Replication × key-value separation: the primary ships the batch
+    /// bytes it captured *before* its own vlog rewrite, and the replica
+    /// rewrites them through its **own** log — values land in the
+    /// replica's vlog, sequences track the primary's, and a redelivered
+    /// frame is rejected before it can litter the replica's log.
+    #[test]
+    fn apply_replicated_with_vlog_rewrites_through_own_log() {
+        let cfg = StoreConfig::new(StoreKind::SealDb, 256 << 10, 1 << 30).with_default_vlog();
+        let mut primary = cfg.clone().build().unwrap();
+        let mut replica = cfg.build().unwrap();
+        let mut wires: Vec<(Vec<u8>, u64)> = Vec::new();
+        for round in 0..30u64 {
+            let mut b = lsm_core::WriteBatch::new();
+            for i in 0..8u64 {
+                let key = format!("r{i:03}");
+                b.put(key.as_bytes(), &vec![(round % 250) as u8; 2048]);
+            }
+            b.put(b"inline", &[round as u8; 16]);
+            let wire = b.rep().to_vec();
+            let count = u64::from(b.count());
+            primary.write(b).unwrap();
+            let seq = primary.db.last_sequence() - count + 1;
+            wires.push((wire, seq));
+        }
+        for (wire, seq) in &wires {
+            let mut shipped = lsm_core::WriteBatch::decode(wire).unwrap();
+            shipped.set_sequence(*seq);
+            assert!(replica.apply_replicated(shipped).unwrap());
+        }
+        assert_eq!(primary.db.last_sequence(), replica.db.last_sequence());
+        // The replica diverted large values into its own log.
+        let appended = replica
+            .metrics_snapshot()
+            .obs
+            .registry
+            .gauge(ObsLayer::ValueLog, "appended_bytes");
+        assert!(appended > 0.0, "replica must rewrite through its own vlog");
+        // Redelivered frame: rejected before the rewrite, so the
+        // replica's log gains nothing.
+        let (wire, seq) = wires.last().unwrap();
+        let mut dup = lsm_core::WriteBatch::decode(wire).unwrap();
+        dup.set_sequence(*seq);
+        assert!(!replica.apply_replicated(dup).unwrap());
+        let after = replica
+            .metrics_snapshot()
+            .obs
+            .registry
+            .gauge(ObsLayer::ValueLog, "appended_bytes");
+        assert_eq!(appended, after, "duplicate frame must not litter the vlog");
+        // Both stores serve the final values.
+        for i in 0..8u64 {
+            let key = format!("r{i:03}");
+            assert_eq!(
+                replica.get(key.as_bytes()).unwrap(),
+                primary.get(key.as_bytes()).unwrap(),
+                "key {key} diverged"
+            );
+            assert_eq!(
+                replica.get(key.as_bytes()).unwrap().as_deref(),
+                Some(vec![29u8; 2048].as_slice())
+            );
+        }
+    }
+
+    /// The chaos knob really re-introduces the PR 8 bug: retiring a
+    /// victim whose pointer fixups are not yet durable trips the debug
+    /// ordering auditor at the recycle record.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "were not yet durable")]
+    fn retire_before_sync_panics_under_ordering_audit() {
+        let cfg = StoreConfig::new(StoreKind::SealDb, 256 << 10, 1 << 30).with_vlog(
+            seal_vlog::VlogParams {
+                segment_bytes: 32 << 10,
+                value_threshold: 64,
+                ..seal_vlog::VlogParams::default()
+            },
+        );
+        let mut s = cfg.build().unwrap();
+        // Two writes per key: the second crosses the hotness threshold,
+        // so every key's live version lands in a *sealed-to-be* hot
+        // segment (write-once keys would sit in the forever-open cold
+        // head, out of the GC's reach).
+        for round in 0..2u64 {
+            for i in 0..60u64 {
+                let key = format!("k{i:03}");
+                s.put(key.as_bytes(), &vec![(round + i) as u8; 1024])
+                    .unwrap();
+            }
+        }
+        // Churn a subset: keys k000..k009 are never written again, so
+        // their live records sit in hot segments otherwise full of
+        // garbage — the scan must relocate them and write fixups.
+        for round in 0..4u64 {
+            for i in 10..60u64 {
+                let key = format!("k{i:03}");
+                s.put(key.as_bytes(), &vec![(round % 250) as u8; 1024])
+                    .unwrap();
+            }
+        }
+        s.flush().unwrap();
+        assert!(s.vlog_gc_pending(), "churn must seal segments");
+        // A budget larger than any segment: each call scans, relocates,
+        // writes fixups, and retires in one step — without the barrier.
+        // Fully-dead victims retire first (no fixups, no violation);
+        // the first mixed victim trips the auditor.
+        let mut steps = 0;
+        while s.vlog_gc_pending() && steps < 1_000 {
+            s.vlog_gc_step_retire_before_sync(1 << 20).unwrap();
+            steps += 1;
+        }
+        unreachable!("ordering auditor must catch the missing barrier");
     }
 
     #[test]

@@ -97,6 +97,90 @@ pub struct AuditReport {
     pub lost: u64,
 }
 
+/// Cluster-wide rollup of every shard's recovery and scrub counters —
+/// one snapshot of how much self-healing the deployment has done, in
+/// the same gauge style [`Store::metrics_snapshot`] exports per store.
+/// Built by [`ShardCluster::recovery_summary`]; the chaos oracle
+/// asserts on its scrub accounting balance after composed-fault runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Shard slots summed (merged-away slots included — their stores
+    /// still exist and may have recovered or scrubbed).
+    pub shards: u64,
+    /// WAL records replayed across all shards' most recent recoveries.
+    pub wal_records_recovered: u64,
+    /// WAL records skipped as torn or CRC-failed.
+    pub wal_records_skipped: u64,
+    /// WAL bytes dropped while resynchronising.
+    pub wal_bytes_dropped: u64,
+    /// Manifest records dropped after the first corrupt one.
+    pub manifest_records_dropped: u64,
+    /// Orphan data files reclaimed at recovery.
+    pub orphan_files_dropped: u64,
+    /// Files quarantined by reopen validation.
+    pub recovery_files_quarantined: u64,
+    /// Table bytes scrub has read and verified, lifetime.
+    pub scrub_bytes_verified: u64,
+    /// Blocks that failed their first checksum pass.
+    pub scrub_blocks_corrupt: u64,
+    /// Corrupt blocks recovered by single-bit correction.
+    pub scrub_blocks_corrected: u64,
+    /// Blocks lost outright.
+    pub scrub_blocks_lost: u64,
+    /// Files rebuilt onto healthy space.
+    pub scrub_files_repaired: u64,
+    /// Files dropped from a version as unrecoverable.
+    pub scrub_files_quarantined: u64,
+    /// Damaged extents fenced off the allocation path.
+    pub scrub_extents_fenced: u64,
+    /// Completed full scrub passes.
+    pub scrub_full_passes: u64,
+}
+
+impl RecoverySummary {
+    /// The rollup as stable `(gauge name, value)` pairs, declaration
+    /// order — the export shape dashboards and artifacts consume.
+    pub fn gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cluster_shards", self.shards),
+            ("cluster_wal_records_recovered", self.wal_records_recovered),
+            ("cluster_wal_records_skipped", self.wal_records_skipped),
+            ("cluster_wal_bytes_dropped", self.wal_bytes_dropped),
+            (
+                "cluster_manifest_records_dropped",
+                self.manifest_records_dropped,
+            ),
+            ("cluster_orphan_files_dropped", self.orphan_files_dropped),
+            (
+                "cluster_recovery_files_quarantined",
+                self.recovery_files_quarantined,
+            ),
+            ("cluster_scrub_bytes_verified", self.scrub_bytes_verified),
+            ("cluster_scrub_blocks_corrupt", self.scrub_blocks_corrupt),
+            (
+                "cluster_scrub_blocks_corrected",
+                self.scrub_blocks_corrected,
+            ),
+            ("cluster_scrub_blocks_lost", self.scrub_blocks_lost),
+            ("cluster_scrub_files_repaired", self.scrub_files_repaired),
+            (
+                "cluster_scrub_files_quarantined",
+                self.scrub_files_quarantined,
+            ),
+            ("cluster_scrub_extents_fenced", self.scrub_extents_fenced),
+            ("cluster_scrub_full_passes", self.scrub_full_passes),
+        ]
+    }
+
+    /// Whether every corrupt block scrub found was accounted for: either
+    /// corrected in place or declared lost (and its file repaired or
+    /// quarantined). An imbalance means a block vanished from the books
+    /// — one of the chaos oracle's invariants.
+    pub fn scrub_accounting_balanced(&self) -> bool {
+        self.scrub_blocks_corrupt == self.scrub_blocks_corrected + self.scrub_blocks_lost
+    }
+}
+
 /// Max-over-mean of a count vector — the load-imbalance figure the
 /// BENCH_pr7 artifact gates on. Empty or all-zero input reads 1.0.
 pub fn imbalance(counts: &[u64]) -> f64 {
@@ -357,6 +441,35 @@ impl ShardCluster {
         Ok(AuditReport { checked: n, lost })
     }
 
+    /// Rolls every shard's [`lsm_core::DbCore::recovery_report`] and
+    /// scrub lifetime totals into one [`RecoverySummary`]. All shard
+    /// slots are summed, merged-away ones included, so the rollup never
+    /// loses healing history when the topology changes.
+    pub fn recovery_summary(&self) -> RecoverySummary {
+        let mut s = RecoverySummary::default();
+        for shard in &self.shards {
+            let db = &shard.store.db;
+            let r = db.recovery_report();
+            let sc = db.scrub_report();
+            s.shards += 1;
+            s.wal_records_recovered += r.wal_records_recovered;
+            s.wal_records_skipped += r.wal_records_skipped;
+            s.wal_bytes_dropped += r.wal_bytes_dropped;
+            s.manifest_records_dropped += r.manifest_records_dropped;
+            s.orphan_files_dropped += r.orphan_files_dropped;
+            s.recovery_files_quarantined += r.files_quarantined;
+            s.scrub_bytes_verified += sc.bytes_verified;
+            s.scrub_blocks_corrupt += sc.blocks_corrupt;
+            s.scrub_blocks_corrected += sc.blocks_corrected;
+            s.scrub_blocks_lost += sc.blocks_lost;
+            s.scrub_files_repaired += sc.files_repaired;
+            s.scrub_files_quarantined += sc.files_quarantined;
+            s.scrub_extents_fenced += sc.extents_fenced;
+            s.scrub_full_passes += sc.full_passes;
+        }
+        s
+    }
+
     // ----- observability-driven placement -----
 
     /// The active shard under the most pressure, read off the per-shard
@@ -492,6 +605,63 @@ mod tests {
         assert_eq!(imbalance(&[0, 0]), 1.0);
         assert_eq!(imbalance(&[10, 10, 10]), 1.0);
         assert_eq!(imbalance(&[30, 10, 20]), 1.5);
+    }
+
+    #[test]
+    fn recovery_summary_rolls_up_scrub_and_recovery_counters() {
+        let mut c = cluster(3);
+        let gen = RecordGenerator::new(16, 64, 7);
+        c.load(&gen, 600).unwrap();
+        // A clean cluster reads all-zero healing counters.
+        let clean = c.recovery_summary();
+        assert_eq!(clean.shards, 3);
+        assert_eq!(clean.scrub_blocks_corrupt, 0);
+        assert!(clean.scrub_accounting_balanced());
+        // Narrow single-bit damage on shard 0, then a repairing scrub.
+        {
+            let store = c.store_mut(0);
+            let f = store
+                .db
+                .current_version()
+                .files
+                .iter()
+                .flatten()
+                .max_by_key(|f| f.size)
+                .expect("load left no tables")
+                .clone();
+            let ext = store.db.ctx().lock().fs.file_extent(f.id).unwrap();
+            store
+                .db
+                .ctx()
+                .lock()
+                .fs
+                .disk_mut()
+                .faults_mut()
+                .corrupt_extent(smr_sim::Extent::new(ext.offset + 100, 8));
+            let cfg = lsm_core::ScrubConfig {
+                bytes_per_step: 1 << 20,
+                repair: true,
+            };
+            store.scrub_full(&cfg).unwrap();
+        }
+        let s = c.recovery_summary();
+        assert_eq!(s.shards, 3);
+        assert!(s.scrub_bytes_verified > 0);
+        assert!(s.scrub_blocks_corrupt > 0, "scrub must find the damage");
+        assert!(
+            s.scrub_blocks_corrected > 0,
+            "single-bit damage must correct: {s:?}"
+        );
+        assert!(s.scrub_accounting_balanced(), "{s:?}");
+        // Gauge export: stable names, values straight from the fields.
+        let g = s.gauges();
+        assert_eq!(g.len(), 15);
+        assert_eq!(g[0], ("cluster_shards", 3));
+        assert!(g
+            .iter()
+            .any(|&(n, v)| n == "cluster_scrub_blocks_corrected" && v == s.scrub_blocks_corrected));
+        // The damage never reached acked data.
+        assert_eq!(c.audit(&gen, 600).unwrap().lost, 0);
     }
 
     #[test]

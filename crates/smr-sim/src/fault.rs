@@ -398,9 +398,100 @@ impl ClusterFaultPlan {
     }
 }
 
+/// The device fault classes a [`FaultPlan`] can inject, enumerated so
+/// harnesses (chaos generator, bench coverage counters) can reason
+/// about coverage by name instead of by API call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceFaultClass {
+    /// Power cut mid-write: a seeded prefix persists, the drive acked
+    /// sectors it never wrote ([`FaultPlan::tear_write_after`]).
+    TornWrite,
+    /// Latent bit-rot surfacing at read time
+    /// ([`FaultPlan::corrupt_extent`]).
+    Corruption,
+    /// Read fails once, the retry succeeds
+    /// ([`FaultPlan::fail_reads_transiently`]).
+    TransientRead,
+    /// Latent sector error: every overlapping read fails forever
+    /// ([`FaultPlan::fail_reads_permanently`]).
+    UnrecoverableRead,
+    /// Whole-band failure the placement layer must fence
+    /// ([`FaultPlan::fail_band`]).
+    BandFailure,
+    /// Reads succeed but take a latency multiplier
+    /// ([`FaultPlan::slow_reads`]).
+    FailSlow,
+}
+
+impl DeviceFaultClass {
+    /// Every device fault class, in declaration order.
+    pub const ALL: [DeviceFaultClass; 6] = [
+        DeviceFaultClass::TornWrite,
+        DeviceFaultClass::Corruption,
+        DeviceFaultClass::TransientRead,
+        DeviceFaultClass::UnrecoverableRead,
+        DeviceFaultClass::BandFailure,
+        DeviceFaultClass::FailSlow,
+    ];
+
+    /// Stable snake_case name used in schedules and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceFaultClass::TornWrite => "torn_write",
+            DeviceFaultClass::Corruption => "corruption",
+            DeviceFaultClass::TransientRead => "transient_read",
+            DeviceFaultClass::UnrecoverableRead => "unrecoverable_read",
+            DeviceFaultClass::BandFailure => "band_failure",
+            DeviceFaultClass::FailSlow => "fail_slow",
+        }
+    }
+}
+
+/// The cluster fault classes a [`ClusterFaultPlan`] (plus the harness
+/// APIs built on it) can inject, mirroring [`DeviceFaultClass`] for the
+/// network/process layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClusterFaultClass {
+    /// A node loses replication traffic over a finite window
+    /// ([`ClusterFaultPlan::partition`]).
+    Partition,
+    /// A node process dies ([`ClusterFaultPlan::kill`]).
+    Kill,
+    /// A killed node slot rejoins as a fresh process
+    /// ([`ClusterFaultPlan::revive`]).
+    Revive,
+}
+
+impl ClusterFaultClass {
+    /// Every cluster fault class, in declaration order.
+    pub const ALL: [ClusterFaultClass; 3] = [
+        ClusterFaultClass::Partition,
+        ClusterFaultClass::Kill,
+        ClusterFaultClass::Revive,
+    ];
+
+    /// Stable snake_case name used in schedules and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterFaultClass::Partition => "partition",
+            ClusterFaultClass::Kill => "kill",
+            ClusterFaultClass::Revive => "revive",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_class_names_are_stable_and_distinct() {
+        let dev: BTreeSet<&str> = DeviceFaultClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(dev.len(), DeviceFaultClass::ALL.len());
+        let clu: BTreeSet<&str> = ClusterFaultClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(clu.len(), ClusterFaultClass::ALL.len());
+        assert!(dev.contains("torn_write") && clu.contains("partition"));
+    }
 
     #[test]
     fn torn_write_fires_once_then_power_stays_lost() {

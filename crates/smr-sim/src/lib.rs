@@ -31,6 +31,8 @@
 
 /// Debug-build shingle auditor shadow-checking raw HM-SMR writes.
 pub mod audit;
+/// Shared retry backoff: bounded exponential with seeded jitter.
+pub mod backoff;
 /// The simulated disk: layouts, timing, write-constraint checks.
 pub mod disk;
 /// Disk fault and constraint-violation errors.
@@ -55,10 +57,13 @@ pub mod timemodel;
 pub mod trace;
 
 pub use audit::ShingleAuditor;
+pub use backoff::{bounded_backoff_ns, Backoff};
 pub use disk::{Disk, DiskSnapshot, Layout};
 pub use error::{DiskError, DiskResult};
 pub use extent::{Extent, ExtentSet};
-pub use fault::{ClusterFaultPlan, FaultPlan, NodeKill, PartitionWindow};
+pub use fault::{
+    ClusterFaultClass, ClusterFaultPlan, DeviceFaultClass, FaultPlan, NodeKill, PartitionWindow,
+};
 pub use net::NetModel;
 pub use obs::{
     AllocEvent, EventTracer, LatencyHistogram, MetricsRegistry, Obs, ObsEvent, ObsEventKind,

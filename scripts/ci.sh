@@ -120,3 +120,28 @@ awk -F'[:,]' '{ gsub(/"/, "") }
           }
           if (vwa["A"] * 2 > iwa["A"]) { printf "workload A: vlog WA %s not 2x below inline %s\n", vwa["A"], iwa["A"]; exit 1 }
           printf "vlog separation ok: A WA %s vs %s, F WA %s vs %s, knees higher\n", vwa["A"], iwa["A"], vwa["F"], iwa["F"] }'
+
+# Chaos artifact: CHAOS_SCHEDULES (default 25) seeded random fault
+# schedules over the composed stack — shard routing x replication x
+# key-value separation x SMR device faults — each followed by the
+# end-to-end durability oracle. Deliberately a DEBUG-profile run: debug
+# builds arm the ordering auditors (DESIGN.md par. 16), so every
+# schedule doubles as a happens-before oracle. The artifact is
+# regenerated twice and must be byte-identical (same seeds, same
+# schedules, same report), then the schema check and a visible gate:
+# zero oracle violations and coverage spanning >=4 device and >=3
+# cluster fault classes.
+cargo run -q -p bench -- --chaos-out BENCH_pr10.json --tiny --chaos-schedules "${CHAOS_SCHEDULES:-25}"
+cargo run -q -p bench -- --chaos-out BENCH_pr10.json.rerun --tiny --chaos-schedules "${CHAOS_SCHEDULES:-25}"
+cmp BENCH_pr10.json BENCH_pr10.json.rerun
+rm BENCH_pr10.json.rerun
+cargo run -q -p bench -- --chaos-check BENCH_pr10.json
+grep -o '"violations_total":[0-9]*' BENCH_pr10.json | cut -d: -f2 |
+awk '{ v=$1 } END { if (v != 0) { printf "chaos oracle reported %d violations\n", v; exit 1 }
+      print "chaos oracle ok: 0 violations" }'
+grep -o '"device":{[^}]*}' BENCH_pr10.json | tr ',' '\n' | grep -c ':' |
+awk '{ if ($1 < 4) { printf "chaos coverage spans only %d device fault classes\n", $1; exit 1 }
+       printf "chaos device coverage ok: %d classes\n", $1 }'
+grep -o '"cluster":{[^}]*}' BENCH_pr10.json | tr ',' '\n' | grep -c ':' |
+awk '{ if ($1 < 3) { printf "chaos coverage spans only %d cluster fault classes\n", $1; exit 1 }
+       printf "chaos cluster coverage ok: %d classes\n", $1 }'
